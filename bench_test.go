@@ -1,0 +1,407 @@
+// Benchmark harness: one testing.B entry per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index), plus
+// microbenchmarks of the substrate hot paths.
+//
+// The figure benchmarks run the scaled (1/64) experiments on a
+// representative benchmark subset and print the resulting table once, so
+// `go test -bench=. -benchmem | tee bench_output.txt` captures the
+// reproduced artifacts. Set PICL_BENCH_ALL=1 to use the full 29-benchmark
+// SPEC set and all 8 mixes (minutes of CPU; used for EXPERIMENTS.md), or
+// use cmd/picl-bench directly.
+package picl
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"picl/internal/bloom"
+	"picl/internal/cache"
+	"picl/internal/exp"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+	"picl/internal/sim"
+	"picl/internal/stats"
+	"picl/internal/trace"
+	"picl/internal/undolog"
+)
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *exp.Runner
+)
+
+func runner() *exp.Runner {
+	benchRunnerOnce.Do(func() { benchRunner = exp.NewRunner(exp.Scaled()) })
+	return benchRunner
+}
+
+func fullSet() bool { return os.Getenv("PICL_BENCH_ALL") != "" }
+
+// benchSubset is the default single-core benchmark subset: two streaming
+// writers, two large-footprint random, two compute-bound, two mixed.
+func benchSubset() []string {
+	if fullSet() {
+		return trace.Benchmarks()
+	}
+	return []string{"gcc", "bzip2", "mcf", "astar", "lbm", "libquantum", "gamess", "povray"}
+}
+
+var printedTables sync.Map
+
+// reportTable prints a reproduced table exactly once per process.
+func reportTable(name string, t fmt.Stringer) {
+	if _, loaded := printedTables.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", t)
+	}
+}
+
+func BenchmarkTable3HardwareOverhead(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Table3(exp.Full().Hierarchy(8))
+	}
+	reportTable("t3", t)
+	_, vals := t.Row(1) // LLC EID/line row
+	b.ReportMetric(vals[2], "llc_overhead_%")
+}
+
+func BenchmarkTable4Config(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = runner().Table4()
+	}
+	reportTable("t4", stringer(s))
+}
+
+func BenchmarkTable5Mixes(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = exp.Table5()
+	}
+	reportTable("t5", stringer(s))
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+func BenchmarkFig9SingleCore(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig9(benchSubset())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f9", t)
+	_, vals := t.Row(t.Rows() - 1) // GMean
+	b.ReportMetric(vals[len(vals)-1], "picl_gmean_normtime")
+	b.ReportMetric(vals[0], "journal_gmean_normtime")
+}
+
+func BenchmarkFig10Multicore(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f10", t)
+	_, vals := t.Row(t.Rows() - 1)
+	b.ReportMetric(vals[len(vals)-1], "picl_gmean_normtime")
+}
+
+func BenchmarkFig11CommitFrequency(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig11(benchSubset())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f11", t)
+	_, vals := t.Row(t.Rows() - 1)
+	b.ReportMetric(vals[0], "journal_gmean_commit_x")
+	b.ReportMetric(vals[2], "picl_gmean_commit_x")
+}
+
+func BenchmarkFig12IOPS(b *testing.B) {
+	set := []string{"gcc", "mcf", "lbm", "libquantum"}
+	if fullSet() {
+		set = trace.Fig12Benchmarks()
+	}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig12(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f12", t)
+}
+
+func BenchmarkFig13LogSize(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig13(benchSubset())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f13", t)
+	_, vals := t.Row(t.Rows() - 1) // AMean
+	b.ReportMetric(vals[1], "amean_fullscale_MB")
+}
+
+func BenchmarkFig14LongEpochs(b *testing.B) {
+	set := []string{"gcc", "mcf", "lbm", "gamess"}
+	if fullSet() {
+		set = trace.Benchmarks()
+	}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig14(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f14", t)
+}
+
+func BenchmarkFig15CacheSensitivity(b *testing.B) {
+	set := []string{"gcc", "lbm", "mcf"}
+	if fullSet() {
+		set = exp.SensitivityBenches()
+	}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig15(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f15", t)
+}
+
+func BenchmarkFig16NVMLatency(b *testing.B) {
+	set := []string{"gcc", "lbm", "mcf"}
+	if fullSet() {
+		set = exp.SensitivityBenches()
+	}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().Fig16(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("f16", t)
+}
+
+func BenchmarkAblationACSGap(b *testing.B) {
+	set := []string{"gcc", "lbm"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().AblationACSGap(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("a1", t)
+}
+
+func BenchmarkAblationUndoBuffer(b *testing.B) {
+	set := []string{"gcc", "lbm"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().AblationUndoBuffer(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("a2", t)
+}
+
+func BenchmarkAblationEpochLength(b *testing.B) {
+	set := []string{"gcc", "lbm"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().AblationEpochLength(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("a3", t)
+}
+
+func BenchmarkAblationDRAMCache(b *testing.B) {
+	set := []string{"gcc", "mcf"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().AblationDRAMCache(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("a4", t)
+}
+
+func BenchmarkAblationController(b *testing.B) {
+	set := []string{"gcc", "mcf"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().AblationController(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("a5", t)
+}
+
+func BenchmarkRecoveryLatency(b *testing.B) {
+	set := []string{"gcc", "lbm"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().RecoveryLatency(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("r2", t)
+}
+
+func BenchmarkAvailabilityReport(b *testing.B) {
+	set := []string{"gcc", "lbm"}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = runner().AvailabilityReport(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable("r3", t)
+}
+
+// --- substrate microbenchmarks ---------------------------------------------
+
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := cache.New(cache.Config{Name: "b", Size: 2 << 20, Ways: 8, Latency: 1})
+	for i := 0; i < 1024; i++ {
+		c.Insert(mem.LineAddr(i), mem.Word(i), 0, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(mem.LineAddr(i&1023), true)
+	}
+}
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := cache.New(cache.Config{Name: "b", Size: 64 << 10, Ways: 8, Latency: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(mem.LineAddr(i), mem.Word(i), 0, true)
+	}
+}
+
+func BenchmarkHierarchyStore(b *testing.B) {
+	ctl := nvm.NewController(nvm.DefaultConfig())
+	scheme, _ := sim.MakeScheme("picl", ctl, false, DefaultConfig(), exp.Scaled().Params())
+	h := cache.NewHierarchy(exp.Scaled().Hierarchy(1), scheme, scheme)
+	scheme.Attach(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Store(uint64(i), 0, mem.LineAddr(i&4095), mem.Word(i))
+	}
+}
+
+func BenchmarkNVMSubmit(b *testing.B) {
+	c := nvm.NewController(nvm.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(uint64(i)*1000, nvm.OpWriteback, 64)
+	}
+}
+
+func BenchmarkBloomInsertProbe(b *testing.B) {
+	f := bloom.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(mem.LineAddr(i))
+		f.MayContain(mem.LineAddr(i + 1))
+		if i&31 == 31 {
+			f.Clear()
+		}
+	}
+}
+
+func BenchmarkUndoLogAppendGC(b *testing.B) {
+	l := undolog.NewLog(0)
+	entries := make([]undolog.Entry, undolog.EntriesPerBlock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range entries {
+			entries[j] = undolog.Entry{Line: mem.LineAddr(j), ValidFrom: mem.EpochID(i), ValidTill: mem.EpochID(i + 1)}
+		}
+		l.AppendBlock(entries)
+		if i&63 == 63 {
+			l.GC(mem.EpochID(i - 4))
+		}
+	}
+}
+
+func BenchmarkSimThroughputPiCL(b *testing.B) {
+	// End-to-end simulator speed: instructions simulated per second.
+	g := trace.NewSynthetic(trace.MustProfile("gcc").Scale(1.0/64), 0, 1)
+	h := exp.Scaled().Hierarchy(1)
+	m, err := sim.New(sim.Config{
+		Scheme: "picl", Workloads: []trace.Generator{g},
+		Hierarchy: &h, EpochInstr: 469_000, InstrPerCore: ^uint64(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	target := uint64(b.N)
+	m.RunUntil(func(_ uint64, instr uint64) bool { return instr >= target })
+	b.ReportMetric(float64(b.N), "instr")
+}
+
+func BenchmarkRecoveryScan(b *testing.B) {
+	// Recovery speed over a populated log.
+	l := undolog.NewLog(0)
+	for blk := 0; blk < 512; blk++ {
+		entries := make([]undolog.Entry, undolog.EntriesPerBlock)
+		for j := range entries {
+			entries[j] = undolog.Entry{
+				Line:      mem.LineAddr(blk*31 + j),
+				ValidFrom: mem.EpochID(blk / 64),
+				ValidTill: mem.EpochID(blk/64 + 1),
+				Old:       mem.Word(j),
+			}
+		}
+		l.AppendBlock(entries)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := mem.NewImage()
+		l.ApplyTo(img, 4)
+	}
+}

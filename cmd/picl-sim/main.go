@@ -1,0 +1,192 @@
+// Command picl-sim runs one checkpointing scheme over one workload (or
+// an 8-core mix) and prints the full statistics of the run: cycles,
+// commits, NVM traffic by category, scheme counters, and — for PiCL —
+// undo-log footprint.
+//
+// Usage:
+//
+//	picl-sim -scheme picl -bench gcc
+//	picl-sim -scheme journal -bench mcf -epochs 16
+//	picl-sim -scheme picl -mix 2            # Table V mix W2, 8 cores
+//	picl-sim -record gcc.trace -n 1000000   # dump the synthetic stream
+//	picl-sim -trace mine.trace              # replay a recorded trace
+//	picl-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"picl/internal/exp"
+	"picl/internal/nvm"
+	"picl/internal/sim"
+	"picl/internal/trace"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "picl", "scheme: ideal|journal|shadow|frm|thynvm|picl")
+		bench     = flag.String("bench", "gcc", "SPEC2006 benchmark name")
+		mix       = flag.Int("mix", -1, "run Table V multiprogram mix W<n> instead of -bench")
+		epochs    = flag.Int("epochs", 8, "run length in epochs")
+		factor    = flag.Float64("factor", 64, "scale-down factor (1 = full paper scale)")
+		traceFile = flag.String("trace", "", "replay a recorded trace file instead of -bench")
+		record    = flag.String("record", "", "dump -bench's synthetic stream to this trace file and exit")
+		recordN   = flag.Int("n", 1_000_000, "accesses to dump with -record")
+		timeline  = flag.Bool("timeline", false, "print per-epoch statistics")
+		list      = flag.Bool("list", false, "list benchmarks and schemes")
+	)
+	flag.Parse()
+
+	if *record != "" {
+		p, err := trace.ProfileFor(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		g := trace.NewSynthetic(p.Scale(1 / *factor), 1<<34, 13)
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteTrace(f, trace.Record(g, *recordN)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d accesses of %s to %s\n", *recordN, *bench, *record)
+		return
+	}
+
+	if *list {
+		fmt.Println("schemes:   ", sim.SchemeNames())
+		fmt.Println("benchmarks:", trace.Benchmarks())
+		fmt.Println("mixes:      W0..W7 (picl-bench -exp t5 shows contents)")
+		return
+	}
+
+	scale := exp.Scale{
+		Name:            fmt.Sprintf("1/%g", *factor),
+		Factor:          1 / *factor,
+		EpochInstr:      uint64(30_000_000 / *factor),
+		Epochs:          *epochs,
+		MulticoreEpochs: *epochs,
+	}
+	runner := exp.NewRunner(scale)
+
+	benches := []string{*bench}
+	if *mix >= 0 {
+		mixes := trace.Mixes()
+		if *mix >= len(mixes) {
+			fmt.Fprintf(os.Stderr, "mix W%d out of range (0..%d)\n", *mix, len(mixes)-1)
+			os.Exit(2)
+		}
+		benches = mixes[*mix]
+	}
+
+	var res *sim.Result
+	var err error
+	switch {
+	case *traceFile != "":
+		res, err = runTraceFile(*traceFile, *scheme, scale)
+		benches = []string{*traceFile}
+	case *timeline:
+		res, err = runTimeline(*scheme, benches[0], scale)
+	default:
+		res, err = runner.Run(*scheme, benches)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *timeline {
+		fmt.Printf("per-epoch timeline for %s/%s:\n", *scheme, benches[0])
+		fmt.Printf("%-6s %12s %12s %9s %8s %8s %8s\n",
+			"epoch", "cycles", "stall", "commits", "wb", "rand", "seq")
+		for _, e := range res.Timeline {
+			fmt.Printf("%-6d %12d %12d %9d %8d %8d %8d\n",
+				e.Epoch, e.Cycles, e.StallCycles, e.Commits, e.Writebacks, e.Random, e.Sequential)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("scheme        %s\n", res.Scheme)
+	fmt.Printf("workload      %v (scale %s)\n", benches, scale.Name)
+	fmt.Printf("cores         %d\n", res.Cores)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("cycles        %d (CPI %.2f)\n", res.Cycles, float64(res.Cycles)/float64(res.Instructions))
+	fmt.Printf("commits       %d (%d forced)\n", res.Commits, res.ForcedCommit)
+	fmt.Printf("stall cycles  %d at epoch boundaries\n", res.BoundaryStallCycles)
+	fmt.Printf("nvm ops       writeback=%d sequential=%d random=%d demand-reads=%d\n",
+		res.NVM.Ops(nvm.CatWriteback), res.NVM.Ops(nvm.CatSequential),
+		res.NVM.Ops(nvm.CatRandom), res.NVM.Ops(nvm.CatDemand))
+	fmt.Printf("nvm busy      %d cycles, %d row activations, %d queue-full events\n",
+		res.NVM.BusyCycles, res.NVM.RowActivations, res.NVM.StallEvents)
+	if res.LogTotalBytes > 0 {
+		fmt.Printf("undo log      %.2f MB written, %.2f MB peak\n",
+			float64(res.LogTotalBytes)/(1<<20), float64(res.LogPeakBytes)/(1<<20))
+	}
+	fmt.Printf("scheme counters:\n%s", res.Counters.String())
+
+	// Normalized-to-ideal summary.
+	if *traceFile == "" && *scheme != "ideal" {
+		if ideal, err := runner.Run("ideal", benches); err == nil {
+			fmt.Printf("normalized execution time vs ideal: %.3fx\n",
+				float64(res.Cycles)/float64(ideal.Cycles))
+		}
+	}
+}
+
+// runTimeline runs one benchmark with per-epoch sampling enabled.
+func runTimeline(scheme, bench string, scale exp.Scale) (*sim.Result, error) {
+	p, err := trace.ProfileFor(bench)
+	if err != nil {
+		return nil, err
+	}
+	h := scale.Hierarchy(1)
+	m, err := sim.New(sim.Config{
+		Scheme:       scheme,
+		Baseline:     scale.Params(),
+		Workloads:    []trace.Generator{trace.NewSynthetic(p.Scale(scale.Factor), 1<<34, 13)},
+		Hierarchy:    &h,
+		EpochInstr:   scale.EpochInstr,
+		InstrPerCore: uint64(scale.Epochs) * scale.EpochInstr,
+		Timeline:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// runTraceFile replays a recorded trace under the given scheme.
+func runTraceFile(path, scheme string, scale exp.Scale) (*sim.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	accs, err := trace.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	h := scale.Hierarchy(1)
+	m, err := sim.New(sim.Config{
+		Scheme:       scheme,
+		Baseline:     scale.Params(),
+		Workloads:    []trace.Generator{trace.NewReplayer(path, accs)},
+		Hierarchy:    &h,
+		EpochInstr:   scale.EpochInstr,
+		InstrPerCore: uint64(scale.Epochs) * scale.EpochInstr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}

@@ -1,0 +1,133 @@
+// Kvstore runs a persistent key-value store on simulated NVMM with PiCL
+// providing crash consistency transparently — the store itself contains
+// zero persistence logic: no write-ahead log, no fsync, no shadow
+// structures. It is ordinary volatile-looking code.
+//
+// The store keeps an open-addressed hash table in NVMM (key and value in
+// separate cache lines — a classic torn-update hazard) plus a
+// generation counter it bumps every committed batch. After a random
+// crash, the recovered table must be exactly the snapshot the
+// application had at the recovered generation: every key present, every
+// value from that generation, nothing torn.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"picl"
+)
+
+const (
+	buckets   = 1 << 13 // 8192 buckets
+	tableBase = 1 << 22
+	genAddr   = uint64(1 << 21)
+)
+
+func keyAddr(b uint64) uint64 { return tableBase + b*128 }
+func valAddr(b uint64) uint64 { return tableBase + b*128 + 64 }
+
+// store is the NVMM-backed hash table. Note: no persistence code at all.
+type store struct{ m *picl.Machine }
+
+func (s store) put(key, val uint64) {
+	b := key % buckets
+	for {
+		k, _ := s.m.Read(keyAddr(b))
+		if k == 0 || k == key {
+			s.m.Write(keyAddr(b), key)
+			s.m.Write(valAddr(b), val)
+			return
+		}
+		b = (b + 1) % buckets
+	}
+}
+
+// readBack reads via a post-crash image instead of the live machine.
+func get(read func(uint64) uint64, key uint64) (uint64, bool) {
+	b := key % buckets
+	for i := 0; i < buckets; i++ {
+		k := read(keyAddr(b))
+		if k == 0 {
+			return 0, false
+		}
+		if k == key {
+			return read(valAddr(b)), true
+		}
+		b = (b + 1) % buckets
+	}
+	return 0, false
+}
+
+func main() {
+	cfg := picl.DefaultConfig()
+	cfg.ACSGap = 2
+	m, err := picl.New(picl.WithSmallCaches(), picl.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := store{m: m}
+	rnd := rand.New(rand.NewSource(42))
+
+	// Run batches; after each batch commit an epoch and snapshot the
+	// application's view, keyed by generation.
+	type snapshot map[uint64]uint64
+	snaps := []snapshot{{}} // generation 0: empty
+	live := snapshot{}
+	const batches = 30
+	fmt.Printf("running %d update batches (~100 puts each) against the NVMM KV store\n", batches)
+	for gen := uint64(1); gen <= batches; gen++ {
+		for i := 0; i < 100; i++ {
+			key := uint64(rnd.Intn(2000)) + 1
+			val := gen<<32 | uint64(rnd.Intn(1<<20)) | 1
+			s.put(key, val)
+			live[key] = val
+		}
+		m.Write(genAddr, gen)
+		m.CommitEpoch()
+		snap := snapshot{}
+		for k, v := range live {
+			snap[k] = v
+		}
+		snaps = append(snaps, snap)
+	}
+
+	// Pull the plug mid-flight: queued NVM writes are lost.
+	fmt.Println("pulling the plug with writes still queued in the memory controller...")
+	m.Crash()
+	img, epoch, err := m.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := img.Read(genAddr)
+	fmt.Printf("recovered epoch %d, store generation %d\n", epoch, gen)
+	if gen >= uint64(len(snaps)) {
+		log.Fatalf("impossible generation %d", gen)
+	}
+
+	// The recovered table must equal the application snapshot at that
+	// generation: all-or-nothing batches, no torn key/value pairs.
+	want := snaps[gen]
+	for k, v := range want {
+		got, ok := get(img.Read, k)
+		if !ok || got != v {
+			log.Fatalf("TORN STORE: key %d = %d (present=%v), want %d", k, got, ok, v)
+		}
+	}
+	// And nothing from later generations leaked in.
+	for k := uint64(1); k <= 2000; k++ {
+		if got, ok := get(img.Read, k); ok {
+			if _, expected := want[k]; !expected {
+				log.Fatalf("LEAK: key %d = %d exists but was only written after generation %d", k, got, gen)
+			}
+			if got>>32 > gen {
+				log.Fatalf("LEAK: key %d carries value from future generation %d", k, got>>32)
+			}
+		}
+	}
+	fmt.Printf("verified %d keys: the recovered store is exactly the generation-%d snapshot ✓\n", len(want), gen)
+	fmt.Println("\nthe store implements no logging, no flushes, no barriers — PiCL made it durable")
+}

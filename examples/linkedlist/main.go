@@ -1,0 +1,131 @@
+// Linkedlist reproduces the paper's §I motivating example: "when a
+// doubly linked list is appended, two memory locations are updated with
+// new pointers. If these pointers reside in different cache lines and
+// are not both propagated to memory when the system crashes, the memory
+// state can be irreversibly corrupted."
+//
+// The example builds a doubly linked list in simulated NVMM and crashes
+// the machine at many different instants:
+//
+//   - on a raw NVMM system with no crash consistency ("ideal"), the
+//     surviving memory is frequently a half-updated list — forward and
+//     backward pointers disagree, or links dangle into never-written
+//     memory;
+//
+//   - under PiCL, every crash point recovers to a checkpoint in which
+//     the list is whole (possibly shorter — an older checkpoint — but
+//     never torn).
+//
+//     go run ./examples/linkedlist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picl"
+)
+
+// Node layout in NVMM: each node occupies two cache lines — one holding
+// the next pointer, one holding the prev pointer — so a single append
+// updates lines of two different nodes (the §I hazard). Pointers are
+// node indices + 1; 0 means nil.
+const (
+	nodeBytes = 2 * 64
+	heapBase  = 1 << 20
+)
+
+func nextAddr(node uint64) uint64 { return heapBase + node*nodeBytes }
+func prevAddr(node uint64) uint64 { return heapBase + node*nodeBytes + 64 }
+
+func appendNode(m *picl.Machine, tail, n uint64) {
+	m.Write(prevAddr(n), tail+1) // n.prev = tail
+	m.Write(nextAddr(n), 0)      // n.next = nil
+	m.Write(nextAddr(tail), n+1) // tail.next = n (publishes the node)
+}
+
+// audit walks the list forward from the head and checks every forward
+// edge against its back edge. Returns length and consistency.
+func audit(read func(addr uint64) uint64, maxNodes int) (length int, consistent bool) {
+	cur := uint64(0)
+	for n := 0; n < maxNodes+1; n++ {
+		nxt := read(nextAddr(cur))
+		if nxt == 0 {
+			return n + 1, true
+		}
+		next := nxt - 1
+		if back := read(prevAddr(next)); back != cur+1 {
+			return n + 1, false
+		}
+		cur = next
+	}
+	return maxNodes, false // cycle or overrun
+}
+
+// build constructs the list under the given scheme and crashes partway
+// through the appends (afterNodes controls how deep into the build the
+// plug is pulled).
+func build(scheme string, nodes, epochEvery, crashAfter int) *picl.Machine {
+	m, err := picl.New(picl.WithScheme(scheme), picl.WithSmallCaches())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Write(nextAddr(0), 0)
+	m.Write(prevAddr(0), 0)
+	for i := 1; i < nodes; i++ {
+		appendNode(m, uint64(i-1), uint64(i))
+		if i%epochEvery == 0 {
+			m.CommitEpoch()
+		}
+		m.Advance(30)
+		if i == crashAfter {
+			m.Crash()
+			return m
+		}
+	}
+	m.Crash()
+	return m
+}
+
+func main() {
+	const nodes = 2500
+	fmt.Printf("appending %d nodes (320 KB, 10x the 32 KB LLC) to a doubly linked list in NVMM, crashing mid-build\n\n", nodes)
+
+	// --- Raw NVMM: show the corruption actually happens. ---
+	fmt.Println("unprotected NVMM (no checkpointing):")
+	corrupted := 0
+	for crashAfter := 250; crashAfter < nodes; crashAfter += 250 {
+		m := build("ideal", nodes, 10, crashAfter)
+		l, ok := audit(m.RawMemory().Read, nodes)
+		status := "consistent"
+		if !ok {
+			status = "CORRUPTED"
+			corrupted++
+		}
+		fmt.Printf("  crash after %3d appends: surviving list %-10s (walked %d nodes)\n", crashAfter, status, l)
+	}
+	if corrupted == 0 {
+		log.Fatal("expected at least one corrupted crash point on unprotected NVMM")
+	}
+	fmt.Printf("  -> %d/9 crash points left the list irreversibly corrupted\n\n", corrupted)
+
+	// --- PiCL: every crash point recovers a consistent list. ---
+	fmt.Println("same software under PiCL (software-transparent):")
+	shortest := nodes
+	for crashAfter := 250; crashAfter < nodes; crashAfter += 250 {
+		m := build("picl", nodes, 10, crashAfter)
+		img, epoch, err := m.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, ok := audit(img.Read, nodes)
+		if !ok {
+			log.Fatalf("  crash after %d appends: recovery produced a TORN list", crashAfter)
+		}
+		if l < shortest {
+			shortest = l
+		}
+		fmt.Printf("  crash after %3d appends: recovered epoch %2d, consistent list of %3d nodes\n", crashAfter, epoch, l)
+	}
+	fmt.Printf("  -> every recovery is whole; the worst case (%d nodes) is an older checkpoint, never a torn one\n", shortest)
+}

@@ -1,0 +1,57 @@
+// Multiprogram reproduces one bar group of the paper's Fig. 10: an
+// eight-core system running a Table V workload mix under every
+// checkpointing scheme, reporting execution time normalized to the
+// ideal (no-consistency) NVM system. This is the scalability experiment:
+// stop-the-world flushes and translation-table pressure hurt far more
+// when eight cores share the LLC and one NVM channel.
+//
+//	go run ./examples/multiprogram          # mix W2 (contains lbm + mcf)
+//	go run ./examples/multiprogram 5        # mix W5
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"picl/internal/exp"
+	"picl/internal/nvm"
+	"picl/internal/trace"
+)
+
+func main() {
+	mixID := 2
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 0 || v >= len(trace.Mixes()) {
+			log.Fatalf("usage: multiprogram [0..%d]", len(trace.Mixes())-1)
+		}
+		mixID = v
+	}
+	mix := trace.Mixes()[mixID]
+	fmt.Printf("mix W%d: %s\n", mixID, strings.Join(mix, " "))
+	fmt.Println("8 cores, shared LLC, one NVM channel, scaled 1/64 (see DESIGN.md §3)")
+	fmt.Println()
+
+	r := exp.NewRunner(exp.Scaled())
+	ideal, err := r.Run("ideal", mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %12s %10s %9s %14s\n", "scheme", "cycles", "normtime", "commits", "NVM rand ops")
+	fmt.Printf("%-12s %12d %10.3f %9d %14d\n", "ideal", ideal.Cycles, 1.0, ideal.Commits,
+		ideal.NVM.Ops(nvm.CatRandom))
+	for _, scheme := range exp.Schemes {
+		res, err := r.Run(scheme, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12d %10.3f %9d %14d\n", scheme, res.Cycles,
+			float64(res.Cycles)/float64(ideal.Cycles), res.Commits,
+			res.NVM.Ops(nvm.CatRandom))
+	}
+	fmt.Println("\nlower normtime is better; PiCL should sit within a few percent of ideal")
+	fmt.Println("while the flush-based baselines pay 1.5-3x (paper Fig. 10)")
+}

@@ -1,0 +1,3 @@
+module picl
+
+go 1.22

@@ -1,0 +1,413 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"picl/internal/cache"
+	"picl/internal/checkpoint"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+)
+
+// rig drives any scheme over a tiny hierarchy with a golden reference.
+type rig struct {
+	t      *testing.T
+	s      checkpoint.Scheme
+	h      *cache.Hierarchy
+	ctl    *nvm.Controller
+	now    uint64
+	ref    *mem.Image
+	golden []*mem.Image
+}
+
+type schemeMaker func(ctl *nvm.Controller) checkpoint.Scheme
+
+var makers = map[string]schemeMaker{
+	"ideal":   func(c *nvm.Controller) checkpoint.Scheme { return NewIdeal(c, true) },
+	"frm":     func(c *nvm.Controller) checkpoint.Scheme { return NewFRM(c, true) },
+	"journal": func(c *nvm.Controller) checkpoint.Scheme { return NewJournal(c, true) },
+	"shadow":  func(c *nvm.Controller) checkpoint.Scheme { return NewShadow(c, true) },
+	"thynvm":  func(c *nvm.Controller) checkpoint.Scheme { return NewThyNVM(c, true) },
+}
+
+func newRig(t *testing.T, mk schemeMaker) *rig {
+	ctl := nvm.NewController(nvm.DefaultConfig())
+	s := mk(ctl)
+	h := cache.NewHierarchy(cache.HierarchyConfig{
+		Cores: 1,
+		L1:    cache.Config{Name: "l1", Size: 512, Ways: 2, Latency: 1},
+		L2:    cache.Config{Name: "l2", Size: 1024, Ways: 2, Latency: 4},
+		LLC:   cache.Config{Name: "llc", Size: 4096, Ways: 4, Latency: 30},
+	}, s, s)
+	s.Attach(h)
+	r := &rig{t: t, s: s, h: h, ctl: ctl, ref: mem.NewImage()}
+	r.golden = append(r.golden, r.ref.Clone())
+	return r
+}
+
+func (r *rig) store(l mem.LineAddr, w mem.Word) {
+	r.now += 10
+	if stall := r.h.Store(r.now, 0, l, w); stall > r.now {
+		r.now = stall
+	}
+	r.ref.Write(l, w)
+}
+
+func (r *rig) load(l mem.LineAddr) mem.Word {
+	r.now += 10
+	data, done := r.h.Load(r.now, 0, l)
+	r.now = done
+	return data
+}
+
+func (r *rig) boundary() {
+	r.now += 100
+	r.golden = append(r.golden, r.ref.Clone())
+	if resume := r.s.EpochBoundary(r.now); resume > r.now {
+		r.now = resume
+	}
+	r.s.Tick(r.now)
+}
+
+func (r *rig) checkRecovery(crash uint64) {
+	r.s.CrashAt(crash)
+	img, eid, err := r.s.Recover()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if int(eid) >= len(r.golden) {
+		r.t.Fatalf("recovered epoch %d beyond %d committed", eid, len(r.golden)-1)
+	}
+	if !img.Equal(r.golden[eid]) {
+		r.t.Fatalf("%s: recovery to epoch %d mismatch: %v",
+			r.s.Name(), eid, img.Diff(r.golden[eid], 5))
+	}
+}
+
+func TestFunctionalCoherenceAllSchemes(t *testing.T) {
+	// Every scheme must behave as a transparent memory system: loads
+	// return the last stored value across evictions, flushes, drains.
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t, mk)
+			rnd := rand.New(rand.NewSource(5))
+			for i := 0; i < 30000; i++ {
+				l := mem.LineAddr(rnd.Intn(300))
+				if rnd.Intn(2) == 0 {
+					w := mem.Word(i + 1)
+					r.store(l, w)
+				} else if got, want := r.load(l), r.ref.Read(l); got != want {
+					t.Fatalf("iteration %d: load(%v) = %v, want %v", i, l, got, want)
+				}
+				if i%5000 == 4999 {
+					r.boundary()
+				}
+			}
+		})
+	}
+}
+
+func TestRecoveryAllConsistencySchemes(t *testing.T) {
+	// Randomized crash-recovery for every scheme that promises crash
+	// consistency (ideal explicitly does not).
+	for name, mk := range makers {
+		if name == "ideal" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(77))
+			for trial := 0; trial < 15; trial++ {
+				r := newRig(t, mk)
+				nEpochs := rnd.Intn(4) + 1
+				for e := 0; e < nEpochs; e++ {
+					for i := 0; i < rnd.Intn(50); i++ {
+						l := mem.LineAddr(rnd.Intn(40))
+						if rnd.Intn(4) == 0 {
+							r.load(l)
+						} else {
+							r.store(l, mem.Word(rnd.Uint64()|1))
+						}
+					}
+					r.boundary()
+				}
+				// Mid-epoch tail writes, then crash at a random moment.
+				for i := 0; i < rnd.Intn(30); i++ {
+					r.store(mem.LineAddr(rnd.Intn(40)), mem.Word(rnd.Uint64()|1))
+				}
+				crash := r.now
+				if d := r.ctl.Drain(); d > crash && rnd.Intn(2) == 0 {
+					crash += uint64(rnd.Int63n(int64(d - crash + 1)))
+				}
+				r.checkRecovery(crash)
+			}
+		})
+	}
+}
+
+func TestIdealRefusesRecovery(t *testing.T) {
+	r := newRig(t, makers["ideal"])
+	r.store(1, 1)
+	if _, _, err := r.s.Recover(); err == nil {
+		t.Fatal("ideal must refuse recovery")
+	}
+}
+
+func TestFRMReadLogModifyTraffic(t *testing.T) {
+	r := newRig(t, makers["frm"])
+	// Force dirty evictions: lines 0,16,32,48,64 share LLC set 0 (4 ways).
+	for i := 0; i <= 4; i++ {
+		r.store(mem.LineAddr(i*16), mem.Word(i+1))
+	}
+	s := r.ctl.Stats()
+	if s.Count[nvm.OpRandLogRead] == 0 || s.Count[nvm.OpRandLogWrite] == 0 {
+		t.Fatalf("FRM eviction did not read-log-modify: %+v", s)
+	}
+	if s.Count[nvm.OpWriteback] == 0 {
+		t.Fatal("FRM eviction missing in-place write")
+	}
+}
+
+func TestFRMCommitIsStopTheWorld(t *testing.T) {
+	r := newRig(t, makers["frm"])
+	for i := 0; i < 12; i++ {
+		r.store(mem.LineAddr(i), mem.Word(i+1))
+	}
+	before := r.now + 100
+	resume := r.s.EpochBoundary(before)
+	if resume <= before {
+		t.Fatal("FRM boundary with dirty data must stall")
+	}
+	if resume < r.ctl.Drain() {
+		t.Fatalf("FRM resumed at %d before drain %d", resume, r.ctl.Drain())
+	}
+}
+
+func TestJournalForcedCommitOnOverflow(t *testing.T) {
+	r := newRig(t, makers["journal"])
+	j := r.s.(*Journal)
+	// Evict >13 distinct lines that share one translation set. Table has
+	// 128 sets; keys k*128 all land in set 0. Make each a dirty eviction
+	// by walking LLC set pressure: store then force eviction via
+	// conflicting stores. Simpler: call EvictDirty directly.
+	for k := uint64(0); k < 14; k++ {
+		j.EvictDirty(r.now, mem.LineAddr(k*128), mem.Word(k+1), 1)
+	}
+	if j.ForcedCommits == 0 {
+		t.Fatal("translation overflow did not force a commit")
+	}
+	if j.Commits() == 0 {
+		t.Fatal("forced commit not counted in Commits")
+	}
+}
+
+func TestJournalSnoopReturnsRedoData(t *testing.T) {
+	r := newRig(t, makers["journal"])
+	j := r.s.(*Journal)
+	j.EvictDirty(r.now, 9, 99, 1)
+	if data, _ := j.Fill(r.now, 9); data != 99 {
+		t.Fatalf("snoop read = %v, want journal value 99", data)
+	}
+	if data, _ := j.Fill(r.now, 10); data != 0 {
+		t.Fatalf("non-journaled read = %v, want home value 0", data)
+	}
+}
+
+func TestJournalCommitDrains(t *testing.T) {
+	r := newRig(t, makers["journal"])
+	r.store(3, 33)
+	r.boundary()
+	j := r.s.(*Journal)
+	if j.Table().Len() != 0 {
+		t.Fatal("commit left translation entries")
+	}
+	if j.Cur.Read(3) != 33 {
+		t.Fatal("drain did not write home location")
+	}
+	if j.Counters().Get("drain_lines") == 0 {
+		t.Fatal("drain not counted")
+	}
+}
+
+func TestShadowCoWOncePerPageAndRetention(t *testing.T) {
+	r := newRig(t, makers["shadow"])
+	sh := r.s.(*Shadow)
+	// Two evictions in the same page: one CoW.
+	sh.EvictDirty(r.now, 0, 1, 1)
+	sh.EvictDirty(r.now, 1, 2, 1)
+	if got := sh.Counters().Get("cow_pages"); got != 1 {
+		t.Fatalf("cow_pages = %d, want 1", got)
+	}
+	// Commit retains the entry; next epoch's eviction to the same page
+	// does not CoW again.
+	r.s.EpochBoundary(r.now + 1000)
+	sh.EvictDirty(r.ctl.Drain()+1, 2, 3, 2)
+	if got := sh.Counters().Get("cow_pages"); got != 1 {
+		t.Fatalf("cow_pages after retained re-dirty = %d, want 1", got)
+	}
+}
+
+func TestShadowRecyclesRetainedEntries(t *testing.T) {
+	r := newRig(t, makers["shadow"])
+	sh := r.s.(*Shadow)
+	// Fill one table set (128 sets; pages p*128 share set 0) with
+	// retained (committed, non-dirty) entries...
+	for k := uint64(0); k < 13; k++ {
+		sh.EvictDirty(r.now, mem.PageAddr(k*128).FirstLine(), 1, 1)
+	}
+	r.s.EpochBoundary(r.now + 1000)
+	commitsBefore := sh.Commits()
+	// ...then touch a 14th page in that set: must recycle, not commit.
+	sh.EvictDirty(r.ctl.Drain()+1, mem.PageAddr(13*128).FirstLine(), 1, 2)
+	if sh.Commits() != commitsBefore {
+		t.Fatal("retained-entry recycling should not force a commit")
+	}
+	if sh.Counters().Get("retained_recycled") == 0 {
+		t.Fatal("recycle not counted")
+	}
+}
+
+func TestShadowForcedCommitWhenSetAllDirty(t *testing.T) {
+	r := newRig(t, makers["shadow"])
+	sh := r.s.(*Shadow)
+	for k := uint64(0); k < 14; k++ {
+		sh.EvictDirty(r.now, mem.PageAddr(k*128).FirstLine(), mem.Word(k+1), 1)
+	}
+	if sh.ForcedCommits == 0 {
+		t.Fatal("all-dirty set did not force a commit")
+	}
+}
+
+func TestThyNVMPagePromotion(t *testing.T) {
+	r := newRig(t, makers["thynvm"])
+	ty := r.s.(*ThyNVM)
+	// Hit one page hard: after pagePromoteLines distinct evictions the
+	// page should be tracked at page granularity.
+	for i := 0; i < pagePromoteLines+2; i++ {
+		ty.EvictDirty(r.now, mem.LineAddr(i), mem.Word(i+1), 1)
+	}
+	if ty.Counters().Get("page_promotions") == 0 {
+		t.Fatal("hot page was not promoted")
+	}
+	if !ty.pages.Contains(0) {
+		t.Fatal("page table missing promoted page")
+	}
+}
+
+func TestThyNVMOverlapStall(t *testing.T) {
+	r := newRig(t, makers["thynvm"])
+	ty := r.s.(*ThyNVM)
+	for i := 0; i < 30; i++ {
+		r.store(mem.LineAddr(i*16), mem.Word(i+1))
+	}
+	// First commit: returns at flush-durable time, drain continues.
+	resume := ty.EpochBoundary(r.now + 100)
+	if ty.drainDone <= resume {
+		t.Skip("drain finished within flush window; overlap not observable at this scale")
+	}
+	// Second commit immediately after: must wait for the drain.
+	resume2 := ty.EpochBoundary(resume + 1)
+	if resume2 < ty.drainDone && ty.Counters().Get("overlap_stalls") == 0 {
+		t.Fatalf("second commit did not wait for in-flight drain (resume2=%d drain=%d)", resume2, ty.drainDone)
+	}
+}
+
+func TestCommitsCounting(t *testing.T) {
+	for name, mk := range makers {
+		if name == "ideal" {
+			continue
+		}
+		r := newRig(t, mk)
+		r.store(1, 1)
+		r.boundary()
+		r.boundary()
+		if got := r.s.Commits(); got != 2 {
+			t.Fatalf("%s: Commits = %d, want 2", name, got)
+		}
+	}
+}
+
+func TestTimingOnlyModeAllSchemes(t *testing.T) {
+	// Timing-only construction must run every hot path without the
+	// functional image (no nil-map panics in redoWrite/shadowWrite) and
+	// refuse recovery.
+	timingMakers := map[string]schemeMaker{
+		"frm":     func(c *nvm.Controller) checkpoint.Scheme { return NewFRM(c, false) },
+		"journal": func(c *nvm.Controller) checkpoint.Scheme { return NewJournal(c, false) },
+		"shadow":  func(c *nvm.Controller) checkpoint.Scheme { return NewShadow(c, false) },
+		"thynvm":  func(c *nvm.Controller) checkpoint.Scheme { return NewThyNVM(c, false) },
+	}
+	for name, mk := range timingMakers {
+		t.Run(name, func(t *testing.T) {
+			ctl := nvm.NewController(nvm.DefaultConfig())
+			s := mk(ctl)
+			h := cache.NewHierarchy(cache.HierarchyConfig{
+				Cores: 1,
+				L1:    cache.Config{Name: "l1", Size: 512, Ways: 2, Latency: 1},
+				L2:    cache.Config{Name: "l2", Size: 1024, Ways: 2, Latency: 4},
+				LLC:   cache.Config{Name: "llc", Size: 4096, Ways: 4, Latency: 30},
+			}, s, s)
+			s.Attach(h)
+			now := uint64(0)
+			for i := 0; i < 3000; i++ {
+				now += 10
+				if stall := h.Store(now, 0, mem.LineAddr(i%300), mem.Word(i)); stall > now {
+					now = stall
+				}
+				if i%1000 == 999 {
+					if resume := s.EpochBoundary(now); resume > now {
+						now = resume
+					}
+				}
+			}
+			if _, _, err := s.Recover(); err == nil {
+				t.Fatal("timing-only scheme allowed recovery")
+			}
+		})
+	}
+}
+
+func TestParamsScaledAndNormalize(t *testing.T) {
+	p := DefaultParams().Scaled(1.0 / 64)
+	if p.TableEntries != 26 || p.TableWays != DefaultTableWays {
+		t.Fatalf("scaled params = %+v", p)
+	}
+	// The floor is two sets' worth of entries.
+	tiny := DefaultParams().Scaled(1e-9)
+	if tiny.TableEntries < 2*tiny.TableWays {
+		t.Fatalf("floor violated: %+v", tiny)
+	}
+	// Zero-valued params normalize to defaults through the constructors.
+	j := NewJournalWith(nvm.NewController(nvm.DefaultConfig()), false, Params{})
+	if j.Table().Capacity() != 1664 {
+		t.Fatalf("zero params capacity = %d", j.Table().Capacity())
+	}
+}
+
+func TestThyNVMBlockOverflowPromotesOrCommits(t *testing.T) {
+	// Fill one block-table set beyond capacity with lines from distinct
+	// pages (heat stays below the promotion threshold): the overflow path
+	// must promote a page rather than lose the eviction, or force commit.
+	r := newRig(t, makers["thynvm"])
+	ty := r.s.(*ThyNVM)
+	sets := ThyNVMBlockEntries / DefaultTableWays // power-of-two rounded inside
+	_ = sets
+	// Lines l*K*128 spaced a page apart land in the same block-table set
+	// when K is the set count; use brute force: same set index for the
+	// 128-set table means stride 128 lines, and distinct pages need
+	// stride >= 64 lines, so stride 128 works for both.
+	commits := ty.Commits()
+	for k := uint64(0); k < 20; k++ {
+		ty.EvictDirty(r.now, mem.LineAddr(k*128*64), mem.Word(k+1), 1)
+	}
+	if ty.Counters().Get("page_promotions") == 0 && ty.Commits() == commits {
+		t.Fatal("block-table overflow neither promoted nor committed")
+	}
+}
+
+func TestShadowTableAccessor(t *testing.T) {
+	r := newRig(t, makers["shadow"])
+	if r.s.(*Shadow).Table() == nil {
+		t.Fatal("nil table")
+	}
+}

@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"errors"
+
+	"picl/internal/checkpoint"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+	"picl/internal/undolog"
+)
+
+// FRM is the representative hardware undo-logging checkpoint scheme
+// (paper §II-B, §VI-A). One epoch is outstanding at a time. Every dirty
+// eviction performs the read-log-modify sequence: a random NVM read of
+// the pre-image, a log write of the undo entry, then the in-place write.
+// Each epoch boundary is a synchronous stop-the-world cache flush (every
+// flushed line pays the same sequence) followed by a persist marker.
+type FRM struct {
+	checkpoint.Base
+	// entries is the durable undo log for the current epoch (single-undo:
+	// previous epochs' entries expire as soon as the next commit
+	// persists).
+	entries []undolog.Entry
+	// durableMarker is the persisted-checkpoint record in NVM.
+	durableMarker mem.EpochID
+}
+
+// NewFRM constructs the FRM baseline.
+func NewFRM(ctl *nvm.Controller, functional bool) *FRM {
+	f := &FRM{Base: checkpoint.NewBase("frm", ctl, functional)}
+	f.System = 1
+	return f
+}
+
+// Fill implements cache.Backend.
+func (f *FRM) Fill(now uint64, l mem.LineAddr) (mem.Word, uint64) {
+	var data mem.Word
+	if f.Functional {
+		data = f.Cur.Read(l)
+	}
+	done := f.Ctl.SubmitRead(now, uint64(l.Page()))
+	return data, done
+}
+
+// OnStore implements cache.StoreObserver: FRM logs at eviction time, not
+// store time.
+func (f *FRM) OnStore(now uint64, _ mem.LineAddr, _ mem.Word, _ mem.EpochID, _ bool) (mem.EpochID, uint64) {
+	return f.System, now
+}
+
+// readLogModify performs FRM's per-write sequence (paper §II-B): read the
+// canonical pre-image (random read), persist it into the undo log (random
+// write — FRM has no on-chip coalescing buffer; that is PiCL's
+// contribution), then write the new data in place. FCFS ordering makes
+// the undo entry durable before the in-place overwrite.
+func (f *FRM) readLogModify(now uint64, l mem.LineAddr, data mem.Word) uint64 {
+	stall := f.MaybeStall(now)
+	f.Ctl.Submit(stall, nvm.OpRandLogRead, mem.LineSize)
+	var old mem.Word
+	if f.Functional {
+		old = f.Cur.Read(l)
+	}
+	entry := undolog.Entry{Line: l, ValidFrom: f.Persisted, ValidTill: f.System, Old: old}
+	f.entries = append(f.entries, entry)
+	var undo func()
+	if f.Functional {
+		undo = func() { f.entries = f.entries[:len(f.entries)-1] }
+	}
+	f.Persist(stall, nvm.OpRandLogWrite, undolog.EntryBytes, undo)
+	f.C.Add("undo_entries", 1)
+	done := f.PersistLineWrite(stall, nvm.OpWriteback, l, data)
+	_ = done
+	return stall
+}
+
+// EvictDirty implements cache.Backend.
+func (f *FRM) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, _ mem.EpochID) uint64 {
+	return f.readLogModify(now, l, data)
+}
+
+// EpochBoundary implements checkpoint.Scheme: the synchronous cache
+// flush. Every dirty line in the system is written back with the full
+// read-log-modify sequence; execution stalls until the marker making the
+// epoch durable has drained (stop-the-world, paper Fig. 4a).
+func (f *FRM) EpochBoundary(now uint64) uint64 {
+	f.NoteCommit()
+	lines := f.Hier.FlushDirty(nil)
+	t := now
+	for _, dl := range lines {
+		f.readLogModify(t, dl.Addr, dl.Data)
+	}
+	f.C.Add("flush_lines", uint64(len(lines)))
+	f.C.Add("flushes", 1)
+
+	committed := f.System
+	oldMarker := f.durableMarker
+	f.durableMarker = committed
+	var undo func()
+	if f.Functional {
+		// If the crash strikes before the marker drains, both the marker
+		// and the log expiry below must roll back: entries covering the
+		// previous checkpoint are still needed.
+		saved := append([]undolog.Entry(nil), f.entries...)
+		undo = func() { f.durableMarker = oldMarker; f.entries = saved }
+	}
+	done := f.Persist(t, nvm.OpRandLogWrite, 8, undo)
+
+	f.System++
+	f.Persisted = committed
+	// Single-undo logging: entries for epochs before the new persisted
+	// point are expired and garbage-collected.
+	live := f.entries[:0]
+	for _, e := range f.entries {
+		if e.ValidTill > f.Persisted {
+			live = append(live, e)
+		}
+	}
+	f.entries = live
+	f.Settle(done)
+	return done // stop-the-world until the flush and marker are durable
+}
+
+// Tick implements checkpoint.Scheme.
+func (f *FRM) Tick(now uint64) { f.Settle(now) }
+
+// Recover implements checkpoint.Scheme: apply undo entries covering the
+// durable marker, newest-to-oldest so the oldest wins.
+func (f *FRM) Recover() (*mem.Image, mem.EpochID, error) {
+	if !f.Functional {
+		return nil, 0, errors.New("frm: recovery requires functional mode")
+	}
+	img := f.Cur.Clone()
+	for i := len(f.entries) - 1; i >= 0; i-- {
+		if f.entries[i].Covers(f.durableMarker) {
+			img.Write(f.entries[i].Line, f.entries[i].Old)
+		}
+	}
+	return img, f.durableMarker, nil
+}
+
+var _ checkpoint.Scheme = (*FRM)(nil)

@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"errors"
+
+	"picl/internal/checkpoint"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+)
+
+// Ideal is the no-checkpoint reference system (paper §VI-A: "Ideal NVM is
+// a model that has no checkpoint nor crash consistency, given for
+// performance comparison"). Every figure normalizes against it.
+type Ideal struct {
+	checkpoint.Base
+}
+
+// NewIdeal constructs the ideal baseline.
+func NewIdeal(ctl *nvm.Controller, functional bool) *Ideal {
+	i := &Ideal{Base: checkpoint.NewBase("ideal", ctl, functional)}
+	i.System = 1
+	return i
+}
+
+// Fill implements cache.Backend.
+func (i *Ideal) Fill(now uint64, l mem.LineAddr) (mem.Word, uint64) {
+	var data mem.Word
+	if i.Functional {
+		data = i.Cur.Read(l)
+	}
+	done := i.Ctl.SubmitRead(now, uint64(l.Page()))
+	return data, done
+}
+
+// EvictDirty implements cache.Backend: a plain in-place write-back.
+func (i *Ideal) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, _ mem.EpochID) uint64 {
+	stall := i.MaybeStall(now)
+	i.PersistLineWrite(stall, nvm.OpWriteback, l, data)
+	return stall
+}
+
+// OnStore implements cache.StoreObserver: no logging, just EID tagging
+// for uniform bookkeeping.
+func (i *Ideal) OnStore(now uint64, _ mem.LineAddr, _ mem.Word, _ mem.EpochID, _ bool) (mem.EpochID, uint64) {
+	return i.System, now
+}
+
+// EpochBoundary implements checkpoint.Scheme: the ideal system takes no
+// checkpoints; the epoch counter advances only so EID bookkeeping stays
+// uniform across schemes.
+func (i *Ideal) EpochBoundary(now uint64) uint64 {
+	i.System++
+	return now
+}
+
+// Tick implements checkpoint.Scheme.
+func (i *Ideal) Tick(now uint64) { i.Settle(now) }
+
+// Recover implements checkpoint.Scheme: there is nothing to recover to.
+func (i *Ideal) Recover() (*mem.Image, mem.EpochID, error) {
+	return nil, 0, errors.New("ideal: no crash consistency — recovery impossible")
+}
+
+var _ checkpoint.Scheme = (*Ideal)(nil)

@@ -1,0 +1,58 @@
+package baselines
+
+// Params sizes the baselines' translation structures. The paper's values
+// (§VI-A) are the defaults; the experiment harness scales them together
+// with the cache hierarchy and workload footprints so that the
+// table-pressure behavior (Fig. 11) is preserved at miniature scale.
+type Params struct {
+	// TableEntries/TableWays size the Journal and Shadow-Paging tables.
+	TableEntries int
+	TableWays    int
+	// BlockEntries/PageEntries size ThyNVM's two tables.
+	BlockEntries int
+	PageEntries  int
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		TableEntries: DefaultTableEntries,
+		TableWays:    DefaultTableWays,
+		BlockEntries: ThyNVMBlockEntries,
+		PageEntries:  ThyNVMPageEntries,
+	}
+}
+
+// Scaled shrinks every capacity by factor f (0 < f <= 1), keeping
+// associativity and enforcing a floor of two sets' worth of entries.
+func (p Params) Scaled(f float64) Params {
+	scale := func(n int) int {
+		v := int(float64(n) * f)
+		if min := 2 * p.TableWays; v < min {
+			v = min
+		}
+		return v
+	}
+	p.TableEntries = scale(p.TableEntries)
+	p.BlockEntries = scale(p.BlockEntries)
+	p.PageEntries = scale(p.PageEntries)
+	return p
+}
+
+// normalize fills zero fields with defaults so a zero Params works.
+func (p Params) normalize() Params {
+	d := DefaultParams()
+	if p.TableEntries <= 0 {
+		p.TableEntries = d.TableEntries
+	}
+	if p.TableWays <= 0 {
+		p.TableWays = d.TableWays
+	}
+	if p.BlockEntries <= 0 {
+		p.BlockEntries = d.BlockEntries
+	}
+	if p.PageEntries <= 0 {
+		p.PageEntries = d.PageEntries
+	}
+	return p
+}

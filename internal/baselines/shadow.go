@@ -1,0 +1,249 @@
+package baselines
+
+import (
+	"errors"
+	"sort"
+
+	"picl/internal/cache"
+	"picl/internal/checkpoint"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+)
+
+// Shadow is the Shadow-Paging baseline (paper §VI-A): journaling at 4 KB
+// page granularity. On the first write to a page, the memory module makes
+// a local copy-on-write shadow of the page (no channel traffic — the
+// paper's first optimization); evictions then land in the shadow copy.
+// At commit, dirty shadow pages are written back to their home locations
+// (again locally), and the translation entry is retained so the next
+// epoch's writes to the same page skip the CoW (the second optimization).
+// A set full of this-epoch-dirty pages forces an early commit.
+type Shadow struct {
+	checkpoint.Base
+	table *Table
+	// dirty marks pages written this epoch (these pin table sets).
+	dirty map[mem.PageAddr]bool
+	// shadow holds the shadow-copy contents at line granularity
+	// (functional mode).
+	shadow map[mem.LineAddr]mem.Word
+	rec    commitRecord
+}
+
+// NewShadow constructs the shadow-paging baseline with default sizing.
+func NewShadow(ctl *nvm.Controller, functional bool) *Shadow {
+	return NewShadowWith(ctl, functional, DefaultParams())
+}
+
+// NewShadowWith constructs the shadow-paging baseline with explicit
+// table sizing.
+func NewShadowWith(ctl *nvm.Controller, functional bool, params Params) *Shadow {
+	params = params.normalize()
+	s := &Shadow{
+		Base:  checkpoint.NewBase("shadow", ctl, functional),
+		table: NewTable(params.TableEntries, params.TableWays),
+		dirty: make(map[mem.PageAddr]bool),
+	}
+	s.System = 1
+	if functional {
+		s.shadow = make(map[mem.LineAddr]mem.Word)
+	}
+	return s
+}
+
+// Fill implements cache.Backend: reads snoop the shadow copies.
+func (s *Shadow) Fill(now uint64, l mem.LineAddr) (mem.Word, uint64) {
+	var data mem.Word
+	if s.Functional {
+		if w, ok := s.shadow[l]; ok && s.table.Contains(uint64(l.Page())) {
+			data = w
+		} else {
+			data = s.Cur.Read(l)
+		}
+	}
+	done := s.Ctl.SubmitRead(now, uint64(l.Page()))
+	return data, done
+}
+
+// cow makes a shadow copy of page p inside the memory module.
+func (s *Shadow) cow(now uint64, p mem.PageAddr) {
+	s.Ctl.Submit(now, nvm.OpPageCopy, mem.PageSize)
+	if s.Functional {
+		// The shadow starts as a copy of the home page; only lines that
+		// differ need recording, so start empty (shadow[l] misses fall
+		// through to Cur, which is the same data).
+	}
+	s.C.Add("cow_pages", 1)
+}
+
+// ensurePage maps page p in the translation table, recycling a retained
+// (not this-epoch-dirty) entry LRU if the set is full. It reports
+// ok=false when the set is full of this-epoch-dirty pages, in which case
+// the caller must force a commit (with its pending line, if any, riding
+// along in the commit's flush set).
+func (s *Shadow) ensurePage(now uint64, p mem.PageAddr) (uint64, bool) {
+	if s.table.Contains(uint64(p)) {
+		return now, true
+	}
+	if !s.table.Insert(uint64(p)) {
+		victim, ok := s.table.EvictLRUWhere(uint64(p), func(k uint64) bool {
+			return !s.dirty[mem.PageAddr(k)]
+		})
+		if !ok {
+			return now, false
+		}
+		s.dropShadow(mem.PageAddr(victim))
+		s.C.Add("retained_recycled", 1)
+		s.table.Insert(uint64(p))
+	}
+	s.cow(now, p)
+	return now, true
+}
+
+// dropShadow forgets the shadow contents of a page whose entry is
+// recycled (its data already matches home after the last write-back).
+func (s *Shadow) dropShadow(p mem.PageAddr) {
+	if s.shadow == nil {
+		return
+	}
+	first := p.FirstLine()
+	for i := 0; i < mem.LinesPerPage; i++ {
+		delete(s.shadow, first+mem.LineAddr(i))
+	}
+}
+
+// shadowWrite records one line into its page's shadow copy.
+func (s *Shadow) shadowWrite(now uint64, l mem.LineAddr, data mem.Word, op nvm.Op) {
+	if s.Functional {
+		old, had := s.shadow[l]
+		s.shadow[l] = data
+		s.Persist(now, op, mem.LineSize, func() {
+			if had {
+				s.shadow[l] = old
+			} else {
+				delete(s.shadow, l)
+			}
+		})
+	} else {
+		s.Ctl.Submit(now, op, mem.LineSize)
+	}
+}
+
+// EvictDirty implements cache.Backend. An eviction whose page cannot be
+// mapped (set full of dirty pages) forces a commit and rides along in
+// that commit's flush set — the line already left the LLC, so the flush
+// alone would miss it.
+func (s *Shadow) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, _ mem.EpochID) uint64 {
+	stall := s.MaybeStall(now)
+	p := l.Page()
+	stall, ok := s.ensurePage(stall, p)
+	if !ok {
+		return s.commit(stall, true, cache.DirtyLine{Addr: l, Data: data})
+	}
+	s.dirty[p] = true
+	s.shadowWrite(stall, l, data, nvm.OpWriteback)
+	return stall
+}
+
+// OnStore implements cache.StoreObserver.
+func (s *Shadow) OnStore(now uint64, _ mem.LineAddr, _ mem.Word, _ mem.EpochID, _ bool) (mem.EpochID, uint64) {
+	return s.System, now
+}
+
+// commit flushes the cache into the shadow pages, writes the commit
+// record, then writes dirty pages back to their home locations (local
+// page copies). Synchronous stop-the-world, like Journaling.
+func (s *Shadow) commit(now uint64, forced bool, extras ...cache.DirtyLine) uint64 {
+	s.NoteCommit()
+	if forced {
+		s.ForcedCommits++
+	}
+	lines := append(s.Hier.FlushDirty(nil), extras...)
+	for _, dl := range lines {
+		p := dl.Addr.Page()
+		// During commit every page drains below regardless of table
+		// room, so temporary over-capacity is acceptable: insert
+		// unconditionally, recycling a retained entry if possible.
+		var ok bool
+		now, ok = s.ensurePage(now, p)
+		if !ok {
+			s.table.Insert(uint64(p)) // staged; drained and retained below
+			s.cow(now, p)
+		}
+		s.dirty[p] = true
+		// Cache-flush writes into shadow pages are the scheme's random
+		// logging traffic (Fig. 12's "Random" for Shadow-Paging).
+		s.shadowWrite(now, dl.Addr, dl.Data, nvm.OpRandLogWrite)
+	}
+	s.C.Add("flush_lines", uint64(len(lines)))
+
+	committed := s.System
+	oldRec := s.rec
+	s.rec = commitRecord{eid: committed}
+	var undo func()
+	if s.Functional {
+		snap := make(map[mem.LineAddr]mem.Word, len(s.shadow))
+		for l, w := range s.shadow {
+			snap[l] = w
+		}
+		s.rec.data = snap
+		undo = func() { s.rec = oldRec }
+	}
+	s.Persist(now, nvm.OpRandLogWrite, 8, undo)
+
+	// Page write-back: copy each dirty shadow page home, locally in the
+	// memory module. Entries are retained.
+	pages := make([]mem.PageAddr, 0, len(s.dirty))
+	for p := range s.dirty {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(a, b int) bool { return pages[a] < pages[b] })
+	var done uint64 = now
+	for _, p := range pages {
+		done = s.Ctl.Submit(now, nvm.OpPageCopy, mem.PageSize)
+		if s.Functional {
+			first := p.FirstLine()
+			for i := 0; i < mem.LinesPerPage; i++ {
+				l := first + mem.LineAddr(i)
+				if w, ok := s.shadow[l]; ok {
+					old := s.Cur.Read(l)
+					s.Cur.Write(l, w)
+					s.Track(done, func() { s.Cur.Write(l, old) })
+				}
+			}
+		}
+	}
+	s.C.Add("pages_written_back", uint64(len(pages)))
+	s.dirty = make(map[mem.PageAddr]bool)
+
+	s.System++
+	s.Persisted = committed
+	if d := s.Ctl.Drain(); d > done {
+		done = d
+	}
+	s.Settle(done)
+	return done
+}
+
+// EpochBoundary implements checkpoint.Scheme.
+func (s *Shadow) EpochBoundary(now uint64) uint64 { return s.commit(now, false) }
+
+// Tick implements checkpoint.Scheme.
+func (s *Shadow) Tick(now uint64) { s.Settle(now) }
+
+// Recover implements checkpoint.Scheme: home memory plus a replay of the
+// last durable commit's shadow contents.
+func (s *Shadow) Recover() (*mem.Image, mem.EpochID, error) {
+	if !s.Functional {
+		return nil, 0, errors.New("shadow: recovery requires functional mode")
+	}
+	img := s.Cur.Clone()
+	for l, w := range s.rec.data {
+		img.Write(l, w)
+	}
+	return img, s.rec.eid, nil
+}
+
+// Table exposes the translation table for tests.
+func (s *Shadow) Table() *Table { return s.table }
+
+var _ checkpoint.Scheme = (*Shadow)(nil)

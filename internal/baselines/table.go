@@ -1,0 +1,149 @@
+// Package baselines implements the four software-transparent
+// crash-consistency schemes PiCL is evaluated against (paper §VI-A):
+//
+//   - Ideal: no checkpointing at all — the normalization baseline;
+//   - FRM: undo logging with the read-log-modify sequence on every
+//     eviction and a synchronous stop-the-world cache flush per epoch;
+//   - Journaling: redo logging into an NVM journal through a fixed-size
+//     translation table, with overflow-forced early commits;
+//   - Shadow-Paging: journaling at 4 KB page granularity with local
+//     copy-on-write inside the memory module and retained entries;
+//   - ThyNVM: redo logging at mixed block/page granularity with a single
+//     checkpoint-execution overlap.
+package baselines
+
+// Table is the fixed-size set-associative translation table used by the
+// redo-based schemes (paper §VI-A: "the translation table is configured
+// with 1664 entries total ... at 16-way set-associative"). Overflow of a
+// set forces an early commit, which is the scalability failure Fig. 11
+// quantifies.
+type Table struct {
+	sets, ways int
+	keys       []uint64
+	valid      []bool
+	stamp      []uint64
+	clock      uint64
+	used       int
+}
+
+// NewTable builds a table with the given total entries and associativity.
+// Set count is rounded down to a power of two (minimum 1).
+func NewTable(entries, ways int) *Table {
+	if ways <= 0 {
+		ways = 1
+	}
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Table{
+		sets:  sets,
+		ways:  ways,
+		keys:  make([]uint64, sets*ways),
+		valid: make([]bool, sets*ways),
+		stamp: make([]uint64, sets*ways),
+	}
+}
+
+// Capacity is the total entry count.
+func (t *Table) Capacity() int { return t.sets * t.ways }
+
+// Len is the number of valid entries.
+func (t *Table) Len() int { return t.used }
+
+func (t *Table) set(key uint64) int { return int(key&uint64(t.sets-1)) * t.ways }
+
+// Contains reports whether key is mapped.
+func (t *Table) Contains(key uint64) bool {
+	base := t.set(key)
+	for i := base; i < base+t.ways; i++ {
+		if t.valid[i] && t.keys[i] == key {
+			t.clock++
+			t.stamp[i] = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert maps key. It reports false when the set is full (translation
+// overflow — the caller must force a commit and Clear first).
+func (t *Table) Insert(key uint64) bool {
+	base := t.set(key)
+	free := -1
+	for i := base; i < base+t.ways; i++ {
+		if t.valid[i] && t.keys[i] == key {
+			t.clock++
+			t.stamp[i] = t.clock
+			return true
+		}
+		if !t.valid[i] && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		return false
+	}
+	t.clock++
+	t.keys[free], t.valid[free], t.stamp[free] = key, true, t.clock
+	t.used++
+	return true
+}
+
+// Remove unmaps key if present.
+func (t *Table) Remove(key uint64) {
+	base := t.set(key)
+	for i := base; i < base+t.ways; i++ {
+		if t.valid[i] && t.keys[i] == key {
+			t.valid[i] = false
+			t.used--
+			return
+		}
+	}
+}
+
+// EvictLRUWhere removes and returns the least-recently-used key in key's
+// set among those satisfying ok (Shadow-Paging retains written-back
+// entries and recycles them LRU instead of forcing a commit when a set is
+// merely cold; only this-epoch-dirty entries pin the set). found is false
+// if no entry qualifies.
+func (t *Table) EvictLRUWhere(key uint64, ok func(uint64) bool) (victim uint64, found bool) {
+	base := t.set(key)
+	idx := -1
+	for i := base; i < base+t.ways; i++ {
+		if t.valid[i] && ok(t.keys[i]) && (idx < 0 || t.stamp[i] < t.stamp[idx]) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	t.valid[idx] = false
+	t.used--
+	return t.keys[idx], true
+}
+
+// Clear empties the table (commit drains all entries).
+func (t *Table) Clear() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.used = 0
+}
+
+// Keys returns all valid keys (iteration order unspecified but
+// deterministic).
+func (t *Table) Keys() []uint64 {
+	out := make([]uint64, 0, t.used)
+	for i, v := range t.valid {
+		if v {
+			out = append(out, t.keys[i])
+		}
+	}
+	return out
+}

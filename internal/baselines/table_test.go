@@ -1,0 +1,78 @@
+package baselines
+
+import "testing"
+
+func TestTableGeometry(t *testing.T) {
+	tb := NewTable(DefaultTableEntries, DefaultTableWays)
+	if got := tb.Capacity(); got != 1664 {
+		t.Fatalf("capacity = %d, want the paper's 1664", got)
+	}
+}
+
+func TestTableInsertContainsRemove(t *testing.T) {
+	tb := NewTable(64, 4)
+	if tb.Contains(7) {
+		t.Fatal("empty table contains key")
+	}
+	if !tb.Insert(7) || !tb.Contains(7) {
+		t.Fatal("insert/contains broken")
+	}
+	if !tb.Insert(7) {
+		t.Fatal("re-insert of existing key must succeed")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (re-insert must not duplicate)", tb.Len())
+	}
+	tb.Remove(7)
+	if tb.Contains(7) || tb.Len() != 0 {
+		t.Fatal("remove broken")
+	}
+	tb.Remove(7) // double remove is a no-op
+}
+
+func TestTableOverflow(t *testing.T) {
+	tb := NewTable(64, 4) // 16 sets x 4 ways
+	// Keys 0,16,32,48 fill set 0; a fifth must fail.
+	for i := uint64(0); i < 4; i++ {
+		if !tb.Insert(i * 16) {
+			t.Fatalf("insert %d failed early", i)
+		}
+	}
+	if tb.Insert(4 * 16) {
+		t.Fatal("overflowing set accepted a fifth key")
+	}
+	// Other sets are unaffected.
+	if !tb.Insert(1) {
+		t.Fatal("set-1 insert failed")
+	}
+}
+
+func TestTableEvictLRUWhere(t *testing.T) {
+	tb := NewTable(64, 4)
+	for i := uint64(0); i < 4; i++ {
+		tb.Insert(i * 16)
+	}
+	tb.Contains(0) // refresh key 0
+	// Evict LRU among keys != 16: that's key 32.
+	victim, ok := tb.EvictLRUWhere(64, func(k uint64) bool { return k != 16 })
+	if !ok || victim != 32 {
+		t.Fatalf("EvictLRUWhere = %d,%v; want 32,true", victim, ok)
+	}
+	// No entry qualifies.
+	if _, ok := tb.EvictLRUWhere(64, func(uint64) bool { return false }); ok {
+		t.Fatal("EvictLRUWhere found a victim with always-false predicate")
+	}
+}
+
+func TestTableClearAndKeys(t *testing.T) {
+	tb := NewTable(64, 4)
+	tb.Insert(1)
+	tb.Insert(2)
+	if got := len(tb.Keys()); got != 2 {
+		t.Fatalf("Keys len = %d, want 2", got)
+	}
+	tb.Clear()
+	if tb.Len() != 0 || len(tb.Keys()) != 0 {
+		t.Fatal("clear broken")
+	}
+}

@@ -1,0 +1,284 @@
+package baselines
+
+import (
+	"errors"
+	"sort"
+
+	"picl/internal/cache"
+	"picl/internal/checkpoint"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+)
+
+// ThyNVM table sizes (paper §VI-A: "2048 and 4096 entries for block and
+// page respectively for ThyNVM" at 16-way set-associative).
+const (
+	ThyNVMBlockEntries = 2048
+	ThyNVMPageEntries  = 4096
+	// pagePromoteLines: evictions landing in one page within an epoch
+	// before ThyNVM switches that page to page-granularity tracking.
+	pagePromoteLines = 4
+)
+
+// ThyNVM is the mixed-granularity redo baseline (paper §II-B, [26]):
+// block-size (64 B) redo entries for scattered writes, page-size (4 KB)
+// entries for high-locality regions, and a single checkpoint-execution
+// overlap — the drain of checkpoint N runs concurrently with epoch N+1,
+// but the cache flush at each commit is still synchronous, and a second
+// commit arriving before the previous drain finished must wait.
+type ThyNVM struct {
+	checkpoint.Base
+	blocks *Table // line-granularity translation entries
+	pages  *Table // page-granularity translation entries
+	// pageHeat counts this-epoch evictions per page to drive promotion.
+	pageHeat map[mem.PageAddr]int
+	// redo holds journal content at line granularity (functional).
+	redo map[mem.LineAddr]mem.Word
+	rec  commitRecord
+	// drainDone is when the in-flight background drain completes.
+	drainDone uint64
+	// overflow stages commit-time flush lines that exceeded table
+	// capacity; they drain with the commit and are then forgotten.
+	overflow []mem.LineAddr
+}
+
+// NewThyNVM constructs the ThyNVM baseline with default sizing.
+func NewThyNVM(ctl *nvm.Controller, functional bool) *ThyNVM {
+	return NewThyNVMWith(ctl, functional, DefaultParams())
+}
+
+// NewThyNVMWith constructs the ThyNVM baseline with explicit table
+// sizing.
+func NewThyNVMWith(ctl *nvm.Controller, functional bool, params Params) *ThyNVM {
+	params = params.normalize()
+	t := &ThyNVM{
+		Base:     checkpoint.NewBase("thynvm", ctl, functional),
+		blocks:   NewTable(params.BlockEntries, params.TableWays),
+		pages:    NewTable(params.PageEntries, params.TableWays),
+		pageHeat: make(map[mem.PageAddr]int),
+	}
+	t.System = 1
+	if functional {
+		t.redo = make(map[mem.LineAddr]mem.Word)
+	}
+	return t
+}
+
+// tracked reports whether line l is covered by either table.
+func (t *ThyNVM) tracked(l mem.LineAddr) bool {
+	return t.pages.Contains(uint64(l.Page())) || t.blocks.Contains(uint64(l))
+}
+
+// Fill implements cache.Backend with redo snooping (the paper assumes
+// snooping is free for ThyNVM; we do the same).
+func (t *ThyNVM) Fill(now uint64, l mem.LineAddr) (mem.Word, uint64) {
+	var data mem.Word
+	if t.Functional {
+		if w, ok := t.redo[l]; ok && t.tracked(l) {
+			data = w
+		} else {
+			data = t.Cur.Read(l)
+		}
+	}
+	done := t.Ctl.SubmitRead(now, uint64(l.Page()))
+	return data, done
+}
+
+func (t *ThyNVM) redoWrite(now uint64, l mem.LineAddr, data mem.Word, op nvm.Op) {
+	if t.Functional {
+		old, had := t.redo[l]
+		t.redo[l] = data
+		t.Persist(now, op, mem.LineSize, func() {
+			if had {
+				t.redo[l] = old
+			} else {
+				delete(t.redo, l)
+			}
+		})
+	} else {
+		t.Ctl.Submit(now, op, mem.LineSize)
+	}
+	t.C.Add("redo_writes", 1)
+}
+
+// mapLine finds or creates a translation entry for l, promoting hot
+// pages to page granularity. It reports ok=false when both tables are
+// full, in which case the caller must force a commit (carrying its
+// pending line in the commit's flush set).
+func (t *ThyNVM) mapLine(now uint64, l mem.LineAddr) (uint64, bool) {
+	p := l.Page()
+	if t.pages.Contains(uint64(p)) {
+		return now, true
+	}
+	promote := func() bool {
+		if !t.pages.Insert(uint64(p)) {
+			return false
+		}
+		// Promote: future evictions to this page stop consuming block
+		// entries; existing block entries for it are folded in.
+		first := p.FirstLine()
+		for i := 0; i < mem.LinesPerPage; i++ {
+			t.blocks.Remove(uint64(first + mem.LineAddr(i)))
+		}
+		t.Ctl.Submit(now, nvm.OpPageCopy, mem.PageSize)
+		t.C.Add("page_promotions", 1)
+		return true
+	}
+	t.pageHeat[p]++
+	if t.pageHeat[p] >= pagePromoteLines && promote() {
+		return now, true
+	}
+	if t.blocks.Insert(uint64(l)) {
+		return now, true
+	}
+	// Block set full: try a page promotion even below the heat threshold
+	// before giving up and committing early.
+	if promote() {
+		return now, true
+	}
+	return now, false
+}
+
+// EvictDirty implements cache.Backend. An eviction neither table can
+// track forces a commit and rides along in that commit's flush set —
+// the line already left the LLC, so the flush alone would miss it.
+func (t *ThyNVM) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, _ mem.EpochID) uint64 {
+	stall := t.MaybeStall(now)
+	stall, ok := t.mapLine(stall, l)
+	if !ok {
+		return t.commit(stall, true, cache.DirtyLine{Addr: l, Data: data})
+	}
+	op := nvm.OpRandLogWrite
+	if t.pages.Contains(uint64(l.Page())) {
+		// Page-granularity redo writes have row locality; charge them as
+		// write-backs rather than random log traffic (ThyNVM's design
+		// point: good row-buffer usage for high-locality workloads).
+		op = nvm.OpWriteback
+	}
+	t.redoWrite(stall, l, data, op)
+	return stall
+}
+
+// OnStore implements cache.StoreObserver.
+func (t *ThyNVM) OnStore(now uint64, _ mem.LineAddr, _ mem.Word, _ mem.EpochID, _ bool) (mem.EpochID, uint64) {
+	return t.System, now
+}
+
+// commit: wait for the previous drain if still running (the overlap
+// window is one checkpoint), flush the cache into the redo area
+// (synchronous), write the commit record, then launch the drain in the
+// background.
+func (t *ThyNVM) commit(now uint64, forced bool, extras ...cache.DirtyLine) uint64 {
+	t.NoteCommit()
+	if forced {
+		t.ForcedCommits++
+	}
+	if t.drainDone > now {
+		t.C.Add("overlap_stalls", 1)
+		now = t.drainDone
+	}
+
+	lines := append(t.Hier.FlushDirty(nil), extras...)
+	var flushDone uint64 = now
+	for _, dl := range lines {
+		if _, ok := t.mapLine(now, dl.Addr); !ok {
+			// Commit-time staging: everything drains below regardless of
+			// table room; track the line over-capacity.
+			t.blocks.Insert(uint64(dl.Addr)) // may fail; drained via redo map anyway
+			t.overflow = append(t.overflow, dl.Addr)
+		}
+		op := nvm.OpRandLogWrite
+		if t.pages.Contains(uint64(dl.Addr.Page())) {
+			op = nvm.OpWriteback
+		}
+		t.redoWrite(now, dl.Addr, dl.Data, op)
+	}
+	t.C.Add("flush_lines", uint64(len(lines)))
+
+	committed := t.System
+	oldRec := t.rec
+	t.rec = commitRecord{eid: committed}
+	var undo func()
+	if t.Functional {
+		snap := make(map[mem.LineAddr]mem.Word, len(t.redo))
+		for l, w := range t.redo {
+			snap[l] = w
+		}
+		t.rec.data = snap
+		undo = func() { t.rec = oldRec }
+	}
+	flushDone = t.Persist(now, nvm.OpRandLogWrite, 8, undo)
+
+	// Background drain of both granularities. Page entries drain as
+	// local page copies; block entries as random read+write pairs.
+	var drainDone uint64 = flushDone
+	pageKeys := t.pages.Keys()
+	sort.Slice(pageKeys, func(a, b int) bool { return pageKeys[a] < pageKeys[b] })
+	for _, k := range pageKeys {
+		p := mem.PageAddr(k)
+		done := t.Ctl.Submit(now, nvm.OpPageCopy, mem.PageSize)
+		if t.Functional {
+			first := p.FirstLine()
+			for i := 0; i < mem.LinesPerPage; i++ {
+				l := first + mem.LineAddr(i)
+				if w, ok := t.redo[l]; ok {
+					old := t.Cur.Read(l)
+					t.Cur.Write(l, w)
+					t.Track(done, func() { t.Cur.Write(l, old) })
+				}
+			}
+		}
+		drainDone = done
+	}
+	blockKeys := t.blocks.Keys()
+	for _, l := range t.overflow {
+		blockKeys = append(blockKeys, uint64(l))
+	}
+	t.overflow = nil
+	sort.Slice(blockKeys, func(a, b int) bool { return blockKeys[a] < blockKeys[b] })
+	prevKey, first := uint64(0), true
+	for _, k := range blockKeys {
+		if !first && k == prevKey {
+			continue
+		}
+		prevKey, first = k, false
+		l := mem.LineAddr(k)
+		t.Ctl.Submit(now, nvm.OpRandLogRead, mem.LineSize)
+		var w mem.Word
+		if t.Functional {
+			w = t.redo[l]
+		}
+		drainDone = t.PersistLineWrite(now, nvm.OpWriteback, l, w)
+	}
+	t.C.Add("drain_pages", uint64(len(pageKeys)))
+	t.C.Add("drain_blocks", uint64(len(blockKeys)))
+	t.blocks.Clear()
+	t.pages.Clear()
+	t.pageHeat = make(map[mem.PageAddr]int)
+	t.drainDone = drainDone
+
+	t.System++
+	t.Persisted = committed
+	t.Settle(flushDone)
+	return flushDone // execution overlaps the drain
+}
+
+// EpochBoundary implements checkpoint.Scheme.
+func (t *ThyNVM) EpochBoundary(now uint64) uint64 { return t.commit(now, false) }
+
+// Tick implements checkpoint.Scheme.
+func (t *ThyNVM) Tick(now uint64) { t.Settle(now) }
+
+// Recover implements checkpoint.Scheme.
+func (t *ThyNVM) Recover() (*mem.Image, mem.EpochID, error) {
+	if !t.Functional {
+		return nil, 0, errors.New("thynvm: recovery requires functional mode")
+	}
+	img := t.Cur.Clone()
+	for l, w := range t.rec.data {
+		img.Write(l, w)
+	}
+	return img, t.rec.eid, nil
+}
+
+var _ checkpoint.Scheme = (*ThyNVM)(nil)

@@ -1,0 +1,93 @@
+// Package bloom implements the small clear-on-flush Bloom filter PiCL
+// attaches to the on-chip undo buffer (paper §III-B). The filter answers
+// "might an undo entry for this line still be buffered on chip?" so that a
+// cache eviction of the same line can force the buffer to NVM first,
+// preserving the write-ahead property (undo data must be durable before
+// the in-place data can overwrite memory).
+//
+// The paper sizes it at 4096 bits against a 32-entry buffer, which keeps
+// the false-positive rate insignificant; false positives only cost an
+// early buffer flush, never correctness. False negatives are impossible
+// by construction and are property-tested.
+package bloom
+
+import "picl/internal/mem"
+
+// Filter is a fixed-size Bloom filter over cache-line addresses.
+// The zero value is not usable; call New.
+type Filter struct {
+	bits    []uint64
+	mask    uint64 // size-1, size is a power of two
+	hashes  int
+	inserts int
+}
+
+// New returns a filter with the given number of bits (rounded up to a
+// power of two, minimum 64) and hash functions (minimum 1).
+func New(bits, hashes int) *Filter {
+	if bits < 64 {
+		bits = 64
+	}
+	size := 64
+	for size < bits {
+		size <<= 1
+	}
+	if hashes < 1 {
+		hashes = 1
+	}
+	return &Filter{
+		bits:   make([]uint64, size/64),
+		mask:   uint64(size - 1),
+		hashes: hashes,
+	}
+}
+
+// Default returns the paper's configuration: 4096 bits, 2 hash functions.
+func Default() *Filter { return New(4096, 2) }
+
+// hash derives the i-th bit index for line l using double hashing over
+// two independent 64-bit mixes.
+func (f *Filter) hash(l mem.LineAddr, i int) uint64 {
+	x := uint64(l)
+	h1 := x * 0x9e3779b97f4a7c15
+	h1 ^= h1 >> 32
+	h2 := x*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9
+	h2 ^= h2 >> 29
+	return (h1 + uint64(i)*(h2|1)) & f.mask
+}
+
+// Insert records that an undo entry for line l is buffered.
+func (f *Filter) Insert(l mem.LineAddr) {
+	for i := 0; i < f.hashes; i++ {
+		b := f.hash(l, i)
+		f.bits[b>>6] |= 1 << (b & 63)
+	}
+	f.inserts++
+}
+
+// MayContain reports whether line l might be present. A false result is
+// authoritative (the line is definitely not buffered).
+func (f *Filter) MayContain(l mem.LineAddr) bool {
+	for i := 0; i < f.hashes; i++ {
+		b := f.hash(l, i)
+		if f.bits[b>>6]&(1<<(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear resets the filter; PiCL clears it on every undo-buffer flush
+// (paper §III-B: "This filter is cleared on each buffer flush").
+func (f *Filter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.inserts = 0
+}
+
+// Inserts reports how many Insert calls happened since the last Clear.
+func (f *Filter) Inserts() int { return f.inserts }
+
+// Bits reports the filter capacity in bits.
+func (f *Filter) Bits() int { return len(f.bits) * 64 }

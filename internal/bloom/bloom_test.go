@@ -1,0 +1,113 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"picl/internal/mem"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := Default()
+	lines := make([]mem.LineAddr, 0, 32)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 32; i++ {
+		l := mem.LineAddr(r.Uint64())
+		f.Insert(l)
+		lines = append(lines, l)
+	}
+	for _, l := range lines {
+		if !f.MayContain(l) {
+			t.Fatalf("false negative for %v", l)
+		}
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	// Property: any set of inserted lines is always reported MayContain,
+	// regardless of filter geometry.
+	prop := func(seed int64, nBits uint16, nHash uint8, n uint8) bool {
+		f := New(int(nBits), int(nHash%8))
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		lines := make([]mem.LineAddr, count)
+		for i := range lines {
+			lines[i] = mem.LineAddr(r.Uint64())
+			f.Insert(lines[i])
+		}
+		for _, l := range lines {
+			if !f.MayContain(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateAtPaperSizing(t *testing.T) {
+	// Paper sizing: 4096 bits vs 32-entry buffer capacity. The paper calls
+	// the false-positive rate "insignificant"; check it stays below 1%.
+	f := Default()
+	r := rand.New(rand.NewSource(7))
+	inserted := make(map[mem.LineAddr]bool, 32)
+	for len(inserted) < 32 {
+		l := mem.LineAddr(r.Uint64())
+		inserted[l] = true
+		f.Insert(l)
+	}
+	const probes = 100000
+	fp := 0
+	for i := 0; i < probes; i++ {
+		l := mem.LineAddr(r.Uint64())
+		if inserted[l] {
+			continue
+		}
+		if f.MayContain(l) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.01 {
+		t.Fatalf("false-positive rate %.4f exceeds 1%% at paper sizing", rate)
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := Default()
+	f.Insert(42)
+	if f.Inserts() != 1 {
+		t.Fatalf("Inserts = %d, want 1", f.Inserts())
+	}
+	f.Clear()
+	if f.Inserts() != 0 {
+		t.Fatalf("Inserts after Clear = %d, want 0", f.Inserts())
+	}
+	if f.MayContain(42) {
+		t.Fatal("cleared filter still reports MayContain")
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := Default()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if f.MayContain(mem.LineAddr(r.Uint64())) {
+			t.Fatal("empty filter reported MayContain")
+		}
+	}
+}
+
+func TestSizingRoundsUp(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {4000, 4096}, {4096, 4096},
+	}
+	for _, c := range cases {
+		if got := New(c.in, 2).Bits(); got != c.want {
+			t.Errorf("New(%d).Bits() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

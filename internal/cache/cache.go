@@ -1,0 +1,221 @@
+// Package cache implements the SRAM cache hierarchy of the evaluated
+// system (paper Table IV): per-core private L1 and L2 plus a shared,
+// inclusive last-level cache, all write-back with LRU replacement. Cache
+// lines carry the PiCL epoch-ID (EID) tag and a dirty bit; the hierarchy
+// exposes exactly the hook points the paper adds to the cache state
+// machines (Figs. 7 and 8): a pre-store observation (where undo entries
+// are created), a dirty-eviction path into the persistence scheme, and a
+// predicate-driven dirty scan used by both synchronous cache flushes
+// (baselines) and PiCL's asynchronous cache scan.
+package cache
+
+import (
+	"fmt"
+
+	"picl/internal/mem"
+)
+
+// Line is one cache entry. A Line is identified by its full line address
+// (kept whole rather than split into tag/index bits; the split is a
+// hardware storage detail with no behavioral consequence).
+type Line struct {
+	Addr  mem.LineAddr
+	Valid bool
+	Dirty bool
+	// EID is the epoch the line was last stored to in, or mem.NoEpoch for
+	// lines never stored to since fill (paper §IV-A).
+	EID  mem.EpochID
+	Data mem.Word
+
+	// Owner is the core whose private caches hold this line (-1 none).
+	// Maintained only in the LLC; the evaluated workloads are
+	// multiprogrammed so a line has at most one private holder.
+	Owner int8
+	// PrivDirty marks an LLC line whose freshest data lives dirty in the
+	// owner's private caches (the LLC copy is stale). Set by the private
+	// stores' EID-forwarding (paper Fig. 8), cleared when the data drains
+	// back or is snooped by ACS/flush.
+	PrivDirty bool
+
+	lru uint64
+}
+
+// Config describes one cache array.
+type Config struct {
+	Name    string
+	Size    int // bytes
+	Ways    int
+	Latency uint64 // lookup latency in cycles
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses   uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// Cache is a set-associative, LRU, write-back cache array.
+type Cache struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	lines   []Line // sets*ways, set-major
+	stamp   uint64
+	stats   Stats
+}
+
+// New builds a cache. Size/Ways must yield a power-of-two set count.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cache %q: invalid geometry %+v", cfg.Name, cfg))
+	}
+	linesTotal := cfg.Size / mem.LineSize
+	sets := linesTotal / cfg.Ways
+	if sets == 0 {
+		sets = 1
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %q: set count %d not a power of two", cfg.Name, sets))
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]Line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(l mem.LineAddr) []Line {
+	s := int(uint64(l) & c.setMask)
+	return c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
+}
+
+// Lookup returns the line holding l, or nil on miss. touch refreshes LRU
+// and records hit/miss statistics; probes that must not disturb
+// replacement state (snoops, scans) pass touch=false.
+func (c *Cache) Lookup(l mem.LineAddr, touch bool) *Line {
+	set := c.set(l)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == l {
+			if touch {
+				c.stamp++
+				set[i].lru = c.stamp
+				c.stats.Hits++
+			}
+			return &set[i]
+		}
+	}
+	if touch {
+		c.stats.Misses++
+	}
+	return nil
+}
+
+// Insert places line l with the given contents, evicting the LRU way if
+// the set is full. It returns the evicted line (by value) and whether an
+// eviction happened. Inserting a line that is already present overwrites
+// it in place with no eviction. The caller handles the victim (write-back,
+// back-invalidation of inner copies).
+func (c *Cache) Insert(l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool) (victim Line, evicted bool) {
+	set := c.set(l)
+	c.stamp++
+	// Already present: update in place.
+	if ln := c.Lookup(l, false); ln != nil {
+		ln.Data = data
+		ln.EID = eid
+		ln.Dirty = ln.Dirty || dirty
+		ln.lru = c.stamp
+		return Line{}, false
+	}
+	// Free way?
+	slot := -1
+	for i := range set {
+		if !set[i].Valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		// Evict LRU.
+		slot = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[slot].lru {
+				slot = i
+			}
+		}
+		victim = set[slot]
+		evicted = true
+		c.stats.Evictions++
+		if victim.Dirty || victim.PrivDirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	set[slot] = Line{
+		Addr:  l,
+		Valid: true,
+		Dirty: dirty,
+		EID:   eid,
+		Data:  data,
+		Owner: -1,
+		lru:   c.stamp,
+	}
+	return victim, evicted
+}
+
+// Invalidate removes line l, returning its prior contents.
+func (c *Cache) Invalidate(l mem.LineAddr) (Line, bool) {
+	if ln := c.Lookup(l, false); ln != nil {
+		old := *ln
+		*ln = Line{}
+		return old, true
+	}
+	return Line{}, false
+}
+
+// Scan visits every valid line; fn may mutate the line. Returning false
+// stops the scan. This is the tag-array walk used by cache flushes and by
+// PiCL's ACS engine (which reads only the EID and dirty arrays).
+func (c *Cache) Scan(fn func(*Line) bool) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			if !fn(&c.lines[i]) {
+				return
+			}
+		}
+	}
+}
+
+// CountDirty returns how many valid lines are dirty (including PrivDirty
+// lines whose fresh data is in inner caches).
+func (c *Cache) CountDirty() int {
+	n := 0
+	c.Scan(func(ln *Line) bool {
+		if ln.Dirty || ln.PrivDirty {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Reset invalidates every line (used between experiment runs).
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	c.stamp = 0
+	c.stats = Stats{}
+}

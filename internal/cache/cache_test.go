@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"testing"
+
+	"picl/internal/mem"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways of 64 B lines = 512 B.
+	return New(Config{Name: "t", Size: 512, Ways: 2, Latency: 1})
+}
+
+func TestGeometry(t *testing.T) {
+	c := smallCache()
+	if c.Sets() != 4 || c.Ways() != 2 {
+		t.Fatalf("geometry = %dx%d, want 4x2", c.Sets(), c.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two set count should panic")
+		}
+	}()
+	New(Config{Name: "bad", Size: 3 * 64, Ways: 1})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(1, true) != nil {
+		t.Fatal("empty cache should miss")
+	}
+	c.Insert(1, 42, 7, true)
+	ln := c.Lookup(1, true)
+	if ln == nil || ln.Data != 42 || ln.EID != 7 || !ln.Dirty {
+		t.Fatalf("line = %+v", ln)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallCache()
+	// Lines 0, 4, 8 all map to set 0 (4 sets). Two ways: inserting the
+	// third evicts the least recently used.
+	c.Insert(0, 100, 0, false)
+	c.Insert(4, 104, 0, false)
+	c.Lookup(0, true) // make line 0 most recently used
+	victim, evicted := c.Insert(8, 108, 0, false)
+	if !evicted {
+		t.Fatal("expected eviction")
+	}
+	if victim.Addr != 4 {
+		t.Fatalf("evicted %v, want line 4 (LRU)", victim.Addr)
+	}
+	if c.Lookup(0, false) == nil || c.Lookup(8, false) == nil {
+		t.Fatal("lines 0 and 8 should remain")
+	}
+}
+
+func TestInsertExistingUpdatesInPlace(t *testing.T) {
+	c := smallCache()
+	c.Insert(1, 10, 1, false)
+	victim, evicted := c.Insert(1, 20, 2, true)
+	if evicted {
+		t.Fatalf("re-insert must not evict, got victim %+v", victim)
+	}
+	ln := c.Lookup(1, false)
+	if ln.Data != 20 || ln.EID != 2 || !ln.Dirty {
+		t.Fatalf("line = %+v", ln)
+	}
+	// Dirty is sticky: a clean re-insert must not launder a dirty line.
+	c.Insert(1, 30, 3, false)
+	if !c.Lookup(1, false).Dirty {
+		t.Fatal("dirty bit was cleared by clean re-insert")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Insert(5, 55, 3, true)
+	old, ok := c.Invalidate(5)
+	if !ok || old.Data != 55 || old.EID != 3 {
+		t.Fatalf("invalidate = %+v %v", old, ok)
+	}
+	if c.Lookup(5, false) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+	if _, ok := c.Invalidate(5); ok {
+		t.Fatal("double invalidate reported success")
+	}
+}
+
+func TestScanAndCountDirty(t *testing.T) {
+	c := smallCache()
+	c.Insert(0, 1, 0, true)
+	c.Insert(1, 2, 0, false)
+	c.Insert(2, 3, 1, true)
+	if got := c.CountDirty(); got != 2 {
+		t.Fatalf("CountDirty = %d, want 2", got)
+	}
+	n := 0
+	c.Scan(func(ln *Line) bool {
+		n++
+		return n < 2 // early stop
+	})
+	if n != 2 {
+		t.Fatalf("scan early-stop visited %d, want 2", n)
+	}
+}
+
+func TestDirtyEvictionStats(t *testing.T) {
+	c := smallCache()
+	c.Insert(0, 1, 0, true)
+	c.Insert(4, 2, 0, true)
+	c.Insert(8, 3, 0, false) // evicts a dirty line
+	s := c.Stats()
+	if s.Evictions != 1 || s.DirtyEvictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := smallCache()
+	c.Insert(0, 1, 0, true)
+	c.Reset()
+	if c.Lookup(0, false) != nil || c.Stats().Hits != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	c := smallCache()
+	// Fill set 0 beyond capacity; set 1 lines must be untouched.
+	c.Insert(1, 11, 0, false) // set 1
+	for i := mem.LineAddr(0); i < 16; i += 4 {
+		c.Insert(i, mem.Word(i), 0, false) // all set 0
+	}
+	if c.Lookup(1, false) == nil {
+		t.Fatal("set-0 pressure evicted a set-1 line")
+	}
+}

@@ -1,0 +1,384 @@
+package cache
+
+import (
+	"fmt"
+
+	"picl/internal/mem"
+)
+
+// Backend is the persistent-memory subsystem below the LLC. Each
+// checkpointing scheme implements it: Ideal writes in place, redo schemes
+// divert evictions into a redo area, FRM performs read-log-modify, and
+// PiCL checks its undo buffer's bloom filter before the in-place write.
+type Backend interface {
+	// Fill reads line l for a demand miss at time now, returning the
+	// current data and the completion time (the load's block-until time).
+	Fill(now uint64, l mem.LineAddr) (mem.Word, uint64)
+	// EvictDirty accepts a dirty line leaving the LLC at time now. The
+	// write itself is asynchronous; the return value is the time the
+	// issuing core must stall until (now if no backpressure).
+	EvictDirty(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID) uint64
+}
+
+// StoreObserver sees every store before it modifies the cache, with the
+// pre-store contents — the paper's undo hook (Figs. 7/8). It returns the
+// EID to tag the line with (SystemEID) and a stall-until time (now if the
+// observation is free; PiCL stalls only when its undo-buffer flush hits
+// controller backpressure).
+type StoreObserver interface {
+	OnStore(now uint64, l mem.LineAddr, old mem.Word, oldEID mem.EpochID, wasModified bool) (newEID mem.EpochID, stallUntil uint64)
+}
+
+// DirtyLine is one flushed line: address, freshest data, and its EID tag.
+type DirtyLine struct {
+	Addr mem.LineAddr
+	Data mem.Word
+	EID  mem.EpochID
+}
+
+// HierarchyConfig describes the full cache hierarchy. L1 and L2 are
+// per-core; LLC.Size is the total shared capacity.
+type HierarchyConfig struct {
+	Cores int
+	L1    Config
+	L2    Config
+	LLC   Config
+}
+
+// DefaultHierarchyConfig returns the paper's Table IV system: 32 KB 4-way
+// single-cycle L1, 256 KB 8-way 4-cycle L2, and 2 MB-per-core 8-way
+// 30-cycle shared LLC.
+func DefaultHierarchyConfig(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores: cores,
+		L1:    Config{Name: "l1", Size: 32 << 10, Ways: 4, Latency: 1},
+		L2:    Config{Name: "l2", Size: 256 << 10, Ways: 8, Latency: 4},
+		LLC:   Config{Name: "llc", Size: cores * (2 << 20), Ways: 8, Latency: 30},
+	}
+}
+
+// Hierarchy is the multi-level cache system: private L1/L2 per core over
+// a shared inclusive LLC. All dirty data is visible at the LLC either
+// directly (Dirty) or via the PrivDirty marker plus the private copies,
+// which is the property PiCL's ACS and the baselines' flushes rely on.
+type Hierarchy struct {
+	cfg      HierarchyConfig
+	l1, l2   []*Cache
+	llc      *Cache
+	backend  Backend
+	observer StoreObserver
+}
+
+// NewHierarchy builds the hierarchy. backend must be non-nil; observer
+// may be nil (no store observation — used by unit tests).
+func NewHierarchy(cfg HierarchyConfig, backend Backend, observer StoreObserver) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic("cache: hierarchy needs at least one core")
+	}
+	if backend == nil {
+		panic("cache: hierarchy needs a backend")
+	}
+	h := &Hierarchy{cfg: cfg, backend: backend, observer: observer}
+	for i := 0; i < cfg.Cores; i++ {
+		l1cfg, l2cfg := cfg.L1, cfg.L2
+		l1cfg.Name = fmt.Sprintf("l1.%d", i)
+		l2cfg.Name = fmt.Sprintf("l2.%d", i)
+		h.l1 = append(h.l1, New(l1cfg))
+		h.l2 = append(h.l2, New(l2cfg))
+	}
+	h.llc = New(cfg.LLC)
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// LLC exposes the shared cache (the ACS engine scans its tag arrays).
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// L1 and L2 expose per-core private caches for tests and statistics.
+func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
+func (h *Hierarchy) L2(core int) *Cache { return h.l2[core] }
+
+// SetObserver installs the store observer after construction (schemes and
+// the hierarchy reference each other, so one side is wired late).
+func (h *Hierarchy) SetObserver(o StoreObserver) { h.observer = o }
+
+// SetBackend installs the backend after construction.
+func (h *Hierarchy) SetBackend(b Backend) { h.backend = b }
+
+// snoopPrivate extracts the freshest copy of an LLC line from the owner's
+// private caches, invalidating them if inval is true or merely cleaning
+// them otherwise. It returns the freshest data/EID/dirtiness considering
+// private copies (L1 newest, then L2, then the LLC copy itself).
+func (h *Hierarchy) snoopPrivate(ln *Line, inval bool) (data mem.Word, eid mem.EpochID, dirty bool) {
+	data, eid, dirty = ln.Data, ln.EID, ln.Dirty
+	if ln.Owner < 0 {
+		return data, eid, dirty
+	}
+	owner := int(ln.Owner)
+	l1, l2 := h.l1[owner], h.l2[owner]
+	p1 := l1.Lookup(ln.Addr, false)
+	p2 := l2.Lookup(ln.Addr, false)
+	// Prefer L1 (newest), then L2.
+	if p2 != nil && p2.Dirty {
+		data, eid, dirty = p2.Data, p2.EID, true
+	}
+	if p1 != nil && p1.Dirty {
+		data, eid, dirty = p1.Data, p1.EID, true
+	}
+	if inval {
+		l1.Invalidate(ln.Addr)
+		l2.Invalidate(ln.Addr)
+		ln.Owner = -1
+	} else {
+		// Cleaning without invalidation (a flush/ACS write-back): every
+		// remaining copy must carry the freshest data, or a later clean
+		// eviction of the inner copy would expose a stale outer one.
+		if p1 != nil {
+			p1.Data, p1.EID, p1.Dirty = data, eid, false
+		}
+		if p2 != nil {
+			p2.Data, p2.EID, p2.Dirty = data, eid, false
+		}
+	}
+	ln.PrivDirty = false
+	return data, eid, dirty
+}
+
+// evictLLCVictim handles a line evicted from the LLC: back-invalidate the
+// owner's private copies (inclusion), and hand the freshest data to the
+// backend if dirty. Returns the stall-until time from the backend.
+func (h *Hierarchy) evictLLCVictim(now uint64, v Line) uint64 {
+	data, eid, dirty := v.Data, v.EID, v.Dirty
+	if v.Owner >= 0 {
+		owner := int(v.Owner)
+		if p, ok := h.l2[owner].Invalidate(v.Addr); ok && p.Dirty {
+			data, eid, dirty = p.Data, p.EID, true
+		}
+		if p, ok := h.l1[owner].Invalidate(v.Addr); ok && p.Dirty {
+			data, eid, dirty = p.Data, p.EID, true
+		}
+	}
+	if dirty {
+		return h.backend.EvictDirty(now, v.Addr, data, eid)
+	}
+	return now
+}
+
+// installLLC inserts a line into the LLC, processing the victim cascade,
+// and returns (pointer to the installed line, stall-until).
+func (h *Hierarchy) installLLC(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool, owner int) (*Line, uint64) {
+	victim, evicted := h.llc.Insert(l, data, eid, dirty)
+	stall := now
+	if evicted {
+		stall = h.evictLLCVictim(now, victim)
+	}
+	ln := h.llc.Lookup(l, false)
+	ln.Owner = int8(owner)
+	return ln, stall
+}
+
+// installL2 inserts into a core's L2, draining the victim into the LLC
+// (which holds it by inclusion) and back-invalidating the L1 copy.
+func (h *Hierarchy) installL2(now uint64, core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) uint64 {
+	victim, evicted := h.l2[core].Insert(l, data, eid, false)
+	if !evicted {
+		return now
+	}
+	vdata, veid, vdirty := victim.Data, victim.EID, victim.Dirty
+	if p, ok := h.l1[core].Invalidate(victim.Addr); ok && p.Dirty {
+		vdata, veid, vdirty = p.Data, p.EID, true
+	}
+	lln := h.llc.Lookup(victim.Addr, false)
+	if lln == nil {
+		// Inclusion violated only if the LLC raced it out; reinstall.
+		_, stall := h.installLLC(now, victim.Addr, vdata, veid, vdirty, -1)
+		return stall
+	}
+	if vdirty {
+		lln.Data, lln.EID, lln.Dirty = vdata, veid, true
+	}
+	// All private copies of the victim are gone now.
+	lln.PrivDirty = false
+	lln.Owner = -1
+	return now
+}
+
+// installL1 inserts into a core's L1, draining the victim into its L2.
+func (h *Hierarchy) installL1(core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) {
+	victim, evicted := h.l1[core].Insert(l, data, eid, false)
+	if !evicted || !victim.Dirty {
+		return
+	}
+	l2ln := h.l2[core].Lookup(victim.Addr, false)
+	if l2ln == nil {
+		// L2 lost it (its own eviction back-invalidated L1 already, so
+		// this cannot normally happen); fold into the LLC directly.
+		if lln := h.llc.Lookup(victim.Addr, false); lln != nil {
+			lln.Data, lln.EID, lln.Dirty = victim.Data, victim.EID, true
+			lln.PrivDirty = false
+		}
+		return
+	}
+	l2ln.Data, l2ln.EID, l2ln.Dirty = victim.Data, victim.EID, true
+}
+
+// fetch brings line l into core's L1 (and the levels above, maintaining
+// inclusion) and returns the L1 line, the hierarchy latency in cycles,
+// the memory completion time (0 if no memory access), and a stall-until
+// time from any eviction backpressure.
+func (h *Hierarchy) fetch(now uint64, core int, l mem.LineAddr) (ln *Line, lat uint64, memDone uint64, stall uint64) {
+	stall = now
+	lat = h.cfg.L1.Latency
+	if ln = h.l1[core].Lookup(l, true); ln != nil {
+		return ln, lat, 0, stall
+	}
+	lat += h.cfg.L2.Latency
+	if l2ln := h.l2[core].Lookup(l, true); l2ln != nil {
+		h.installL1(core, l, l2ln.Data, l2ln.EID)
+		return h.l1[core].Lookup(l, false), lat, 0, stall
+	}
+	lat += h.cfg.LLC.Latency
+	if lln := h.llc.Lookup(l, true); lln != nil {
+		data, eid, _ := lln.Data, lln.EID, lln.Dirty
+		if int(lln.Owner) != core && lln.Owner >= 0 {
+			// Another core holds it privately: migrate (snoop + inval).
+			var dirty bool
+			data, eid, dirty = h.snoopPrivate(lln, true)
+			if dirty {
+				lln.Data, lln.EID, lln.Dirty = data, eid, true
+			}
+		} else if lln.PrivDirty {
+			// Our own private copies were supposedly dirty but L1/L2
+			// missed: stale marker; resync from privates if any remain.
+			data, eid, _ = h.snoopPrivate(lln, false)
+		}
+		lln.Owner = int8(core)
+		stall2 := h.installL2(now, core, l, data, eid)
+		if stall2 > stall {
+			stall = stall2
+		}
+		h.installL1(core, l, data, eid)
+		return h.l1[core].Lookup(l, false), lat, 0, stall
+	}
+	// Full miss: fetch from the persistence backend.
+	data, done := h.backend.Fill(now+lat, l)
+	// Paper §IV-A: a line loaded from memory has no EID associated.
+	_, stallA := h.installLLC(now, l, data, mem.NoEpoch, false, core)
+	stallB := h.installL2(now, core, l, data, mem.NoEpoch)
+	h.installL1(core, l, data, mem.NoEpoch)
+	if stallA > stall {
+		stall = stallA
+	}
+	if stallB > stall {
+		stall = stallB
+	}
+	return h.l1[core].Lookup(l, false), lat, done, stall
+}
+
+// Load performs a blocking read by core of line l at time now. It returns
+// the data and the time the core may continue.
+func (h *Hierarchy) Load(now uint64, core int, l mem.LineAddr) (mem.Word, uint64) {
+	ln, lat, memDone, stall := h.fetch(now, core, l)
+	done := now + lat
+	if memDone > done {
+		done = memDone
+	}
+	if stall > done {
+		done = stall
+	}
+	return ln.Data, done
+}
+
+// Store performs a store by core to line l at time now. Stores are
+// absorbed by the store buffer and do not block the core on hierarchy
+// latency; the returned time reflects only backpressure stalls (from
+// evictions, observer-side log flushes, or a full memory queue).
+func (h *Hierarchy) Store(now uint64, core int, l mem.LineAddr, data mem.Word) uint64 {
+	ln, _, _, stall := h.fetch(now, core, l)
+	lln := h.llc.Lookup(l, false)
+	wasModified := ln.Dirty
+	if lln != nil && (lln.Dirty || lln.PrivDirty) {
+		wasModified = true
+	}
+	newEID := ln.EID
+	if h.observer != nil {
+		var obsStall uint64
+		newEID, obsStall = h.observer.OnStore(now, l, ln.Data, ln.EID, wasModified)
+		if obsStall > stall {
+			stall = obsStall
+		}
+	}
+	ln.Data, ln.EID, ln.Dirty = data, newEID, true
+	if lln != nil {
+		// EID forwarding to the LLC (paper Fig. 8): the LLC learns the
+		// line is dirty in a private cache and at which epoch.
+		lln.EID = newEID
+		lln.PrivDirty = true
+		lln.Owner = int8(core)
+	}
+	return stall
+}
+
+// FlushDirty collects every dirty line whose (address, EID) satisfies
+// pred (nil means all), marking all copies clean while keeping them valid
+// (cache flushes and ACS clean but do not invalidate — paper §III-C).
+// The freshest private data is snooped, exactly as ACS must ("if there
+// are dirty private copies, they would have to be snooped and written
+// back").
+func (h *Hierarchy) FlushDirty(pred func(mem.LineAddr, mem.EpochID) bool) []DirtyLine {
+	var out []DirtyLine
+	h.llc.Scan(func(ln *Line) bool {
+		if !ln.Dirty && !ln.PrivDirty {
+			return true
+		}
+		if pred != nil && !pred(ln.Addr, ln.EID) {
+			return true
+		}
+		data, eid, dirty := h.snoopPrivate(ln, false)
+		if !dirty {
+			return true
+		}
+		ln.Data, ln.EID = data, eid
+		ln.Dirty = false
+		out = append(out, DirtyLine{Addr: ln.Addr, Data: data, EID: eid})
+		return true
+	})
+	return out
+}
+
+// DirtyCount reports system-wide dirty lines (via the inclusive LLC).
+func (h *Hierarchy) DirtyCount() int { return h.llc.CountDirty() }
+
+// CheckInclusion verifies that every valid private line is also present
+// in the LLC (the inclusion invariant the flush machinery depends on).
+func (h *Hierarchy) CheckInclusion() error {
+	for core := range h.l1 {
+		var err error
+		check := func(level string, c *Cache) {
+			c.Scan(func(ln *Line) bool {
+				if h.llc.Lookup(ln.Addr, false) == nil {
+					err = fmt.Errorf("inclusion violated: core %d %s holds %v not in LLC", core, level, ln.Addr)
+					return false
+				}
+				return true
+			})
+		}
+		check("l1", h.l1[core])
+		check("l2", h.l2[core])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset invalidates the whole hierarchy.
+func (h *Hierarchy) Reset() {
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+	}
+	h.llc.Reset()
+}

@@ -1,0 +1,347 @@
+// Package core implements PiCL, the paper's contribution: a
+// software-transparent persistent cache log combining
+//
+//   - cache-driven logging (§III-B): undo entries are sourced directly
+//     from the pre-store contents of cache lines — no read-log-modify
+//     round trip to the NVM — and staged in a small on-chip buffer that
+//     is flushed as one row-buffer-sized sequential write;
+//   - asynchronous cache scan (§III-C): instead of a stop-the-world
+//     flush, an ACS engine lazily walks the LLC EID array and writes back
+//     only the lines belonging to the epoch being persisted, trailing
+//     execution by a configurable ACS-gap;
+//   - multi-undo logging (§III-D): several committed-but-not-persisted
+//     epochs are in flight at once; undo entries of different epochs
+//     co-mingle in one sequential log, each tagged with a
+//     [ValidFrom, ValidTill) validity range.
+//
+// Epoch numbering: SystemEID starts at 1; epoch 0 is the pristine initial
+// memory state, which is what a crash during epoch 1 recovers to.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"picl/internal/bloom"
+	"picl/internal/cache"
+	"picl/internal/checkpoint"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+	"picl/internal/undolog"
+)
+
+// Config parameterizes PiCL.
+type Config struct {
+	// ACSGap is how many epochs the asynchronous cache scan trails the
+	// commit point (paper Fig. 4 uses 3). Gap 0 scans right after commit.
+	ACSGap int
+	// BufferEntries sizes the on-chip undo buffer (paper: 32 entries in
+	// a 2 KB buffer; default fills one log block exactly).
+	BufferEntries int
+	// BloomBits/BloomHashes size the eviction-dependency filter
+	// (paper: 4096 bits vs 32-entry capacity).
+	BloomBits   int
+	BloomHashes int
+	// LogRegionBytes is the OS's initial undo-log allocation.
+	LogRegionBytes uint64
+	// RetainEpochs keeps log blocks for that many epochs beyond the
+	// persisted point instead of garbage-collecting them immediately,
+	// enabling point-in-time recovery to any epoch in
+	// [PersistedEID-RetainEpochs, PersistedEID] via RecoverTo. 0 retains
+	// only what recovery to PersistedEID needs (the paper's behavior).
+	RetainEpochs int
+}
+
+// DefaultConfig returns the paper's evaluated configuration.
+func DefaultConfig() Config {
+	return Config{
+		ACSGap:         3,
+		BufferEntries:  undolog.EntriesPerBlock,
+		BloomBits:      4096,
+		BloomHashes:    2,
+		LogRegionBytes: undolog.DefaultRegionBytes,
+	}
+}
+
+type persistRec struct {
+	target mem.EpochID
+	done   uint64
+}
+
+// PiCL is the scheme implementation. It satisfies checkpoint.Scheme.
+type PiCL struct {
+	checkpoint.Base
+	cfg    Config
+	buf    *undolog.Buffer
+	filter *bloom.Filter
+	log    *undolog.Log
+
+	// durableMarker is the PersistedEID record stored in NVM; recovery
+	// reads it first (paper §IV-B crash handling).
+	durableMarker mem.EpochID
+	pending       []persistRec
+}
+
+// New constructs PiCL over the given memory controller. functional
+// enables content tracking and crash/recovery.
+func New(cfg Config, ctl *nvm.Controller, functional bool) *PiCL {
+	if cfg.BufferEntries <= 0 {
+		cfg.BufferEntries = undolog.EntriesPerBlock
+	}
+	if cfg.BloomBits <= 0 {
+		cfg.BloomBits = 4096
+	}
+	if cfg.BloomHashes <= 0 {
+		cfg.BloomHashes = 2
+	}
+	p := &PiCL{
+		Base:   checkpoint.NewBase("picl", ctl, functional),
+		cfg:    cfg,
+		buf:    undolog.NewBuffer(cfg.BufferEntries),
+		filter: bloom.New(cfg.BloomBits, cfg.BloomHashes),
+		log:    undolog.NewLog(cfg.LogRegionBytes),
+	}
+	p.System = 1
+	return p
+}
+
+// Log exposes the undo log for statistics and tests.
+func (p *PiCL) Log() *undolog.Log { return p.log }
+
+// Fill implements cache.Backend: a demand read from NVM.
+func (p *PiCL) Fill(now uint64, l mem.LineAddr) (mem.Word, uint64) {
+	var data mem.Word
+	if p.Functional {
+		data = p.Cur.Read(l)
+	}
+	done := p.Ctl.SubmitRead(now, uint64(l.Page()))
+	return data, done
+}
+
+// OnStore implements cache.StoreObserver: the cache-driven logging hook
+// (paper Figs. 7/8). A store to a clean line logs the pre-store data with
+// ValidFrom = PersistedEID; a cross-epoch store to a modified line logs
+// it with ValidFrom = the line's tagged EID; a same-epoch store to a
+// transient line logs nothing.
+func (p *PiCL) OnStore(now uint64, l mem.LineAddr, old mem.Word, oldEID mem.EpochID, wasModified bool) (mem.EpochID, uint64) {
+	stall := now
+	switch {
+	case !wasModified:
+		stall = p.addUndo(now, undolog.Entry{
+			Line: l, ValidFrom: p.Persisted, ValidTill: p.System, Old: old,
+		})
+	case oldEID != p.System:
+		stall = p.addUndo(now, undolog.Entry{
+			Line: l, ValidFrom: oldEID, ValidTill: p.System, Old: old,
+		})
+	}
+	return p.System, stall
+}
+
+// addUndo stages an entry in the on-chip buffer, flushing it as one
+// sequential block write when full.
+func (p *PiCL) addUndo(now uint64, e undolog.Entry) uint64 {
+	p.C.Add("undo_entries", 1)
+	p.filter.Insert(e.Line)
+	if p.buf.Add(e) {
+		return p.flushBuffer(now)
+	}
+	return now
+}
+
+// flushBuffer writes all staged undo entries to the log as one 2 KB
+// sequential NVM write and clears the bloom filter (paper §III-B).
+// Returns the issuer's stall-until time (controller backpressure only;
+// the write itself is asynchronous).
+func (p *PiCL) flushBuffer(now uint64) uint64 {
+	entries := p.buf.Drain()
+	p.filter.Clear()
+	if len(entries) == 0 {
+		return now
+	}
+	stall := p.MaybeStall(now)
+	p.log.AppendBlock(entries)
+	watermark := p.log.Blocks()
+	var undo func()
+	if p.Functional {
+		undo = func() { p.log.TruncateTo(watermark - 1) }
+	}
+	p.Persist(stall, nvm.OpSeqBlockWrite, undolog.BlockBytes, undo)
+	p.C.Add("buffer_flushes", 1)
+	return stall
+}
+
+// EvictDirty implements cache.Backend. PiCL evictions are plain in-place
+// writes — no read-log-modify — but must not overtake a buffered undo
+// entry for the same line (write-ahead ordering), so the bloom filter is
+// probed and a hit forces the buffer out first (paper §III-B).
+func (p *PiCL) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID) uint64 {
+	stall := now
+	if p.filter.MayContain(l) {
+		stall = p.flushBuffer(now)
+		p.C.Add("dependency_flushes", 1)
+	}
+	stall2 := p.MaybeStall(stall)
+	p.PersistLineWrite(stall2, nvm.OpWriteback, l, data)
+	p.C.Add("evict_writebacks", 1)
+	return stall2
+}
+
+// EpochBoundary implements checkpoint.Scheme: commit the finished epoch
+// (free — just an EID increment plus the OS boundary handler's register
+// spill, which is cacheable stores) and kick the ACS engine for the epoch
+// ACS-gap behind. Execution resumes immediately except in the rare case
+// where the 4-bit EID tag space would be exhausted, which requires
+// waiting for the oldest in-flight persist (paper §IV-A).
+func (p *PiCL) EpochBoundary(now uint64) uint64 {
+	p.Tick(now)
+	p.NoteCommit()
+	committed := p.System
+	p.System++
+
+	if committed > mem.EpochID(p.cfg.ACSGap) {
+		p.runACS(now, committed-mem.EpochID(p.cfg.ACSGap))
+	}
+
+	// Hardware EID tags are TagBits wide; the live range
+	// [PersistedEID, SystemEID] must stay narrower than the tag space.
+	resume := now
+	for p.System-p.Persisted >= mem.TagMask && len(p.pending) > 0 {
+		resume = p.pending[0].done
+		p.Tick(resume)
+		p.C.Add("tag_space_stalls", 1)
+	}
+	return resume
+}
+
+// runACS persists epoch target: flush the undo buffer first (write-ahead
+// ordering — in-place ACS writes must not become durable before the undo
+// entries that cover them; the paper orders the buffer flush "as the
+// final step" but also conservatively flushes on every ACS, and FCFS
+// submission order is our durability order), then scan the LLC EID array
+// and write back every dirty line with EID <= target, then write the
+// persist marker. When the marker's write completes, target is durable.
+func (p *PiCL) runACS(now uint64, target mem.EpochID) {
+	if target <= p.Persisted && p.durableMarker >= target {
+		return
+	}
+	p.C.Add("acs_runs", 1)
+	p.flushBuffer(now)
+
+	lines := p.Hier.FlushDirty(func(_ mem.LineAddr, eid mem.EpochID) bool {
+		return eid <= target
+	})
+	for _, dl := range lines {
+		p.PersistLineWrite(now, nvm.OpWriteback, dl.Addr, dl.Data)
+	}
+	p.C.Add("acs_writebacks", uint64(len(lines)))
+
+	// Persist marker: an 8-byte pointer-sized record (paper §IV-B:
+	// "the OS first reads a memory location in NVM for the last valid
+	// and persisted checkpoint").
+	oldMarker := p.durableMarker
+	p.durableMarker = target
+	var undo func()
+	if p.Functional {
+		undo = func() { p.durableMarker = oldMarker }
+	}
+	done := p.Persist(now, nvm.OpRandLogWrite, 8, undo)
+	p.pending = append(p.pending, persistRec{target: target, done: done})
+}
+
+// ForcePersist forcefully ends the current epoch and conducts a bulk ACS
+// (paper §IV-C): one scan pass covering every committed epoch, stalling
+// until all of them are durable. This is the mechanism that releases
+// pending I/O writes when I/O is on the critical path — the effective
+// persist latency collapses from epoch-length x ACS-gap to one drain.
+// Returns the time execution resumes (everything durable).
+func (p *PiCL) ForcePersist(now uint64) uint64 {
+	p.Tick(now)
+	p.NoteCommit()
+	committed := p.System
+	p.System++
+	p.C.Add("bulk_acs", 1)
+	p.runACS(now, committed)
+	resume := now
+	for len(p.pending) > 0 {
+		if d := p.pending[len(p.pending)-1].done; d > resume {
+			resume = d
+		}
+		p.Tick(resume)
+	}
+	return resume
+}
+
+// Tick implements checkpoint.Scheme: advance PersistedEID as marker
+// writes complete, garbage-collect the expired log prefix, and settle
+// durable-prefix records.
+func (p *PiCL) Tick(now uint64) {
+	for len(p.pending) > 0 && p.pending[0].done <= now {
+		p.Persisted = p.pending[0].target
+		p.pending = p.pending[1:]
+		floor := p.Persisted
+		if retain := mem.EpochID(p.cfg.RetainEpochs); floor > retain {
+			floor -= retain
+		} else {
+			floor = 0
+		}
+		p.log.GC(floor)
+	}
+	p.Settle(now)
+}
+
+// Recover implements checkpoint.Scheme: read the durable marker, then
+// scan the log backward applying covering entries (paper §IV-B).
+func (p *PiCL) Recover() (*mem.Image, mem.EpochID, error) {
+	if !p.Functional {
+		return nil, 0, errors.New("picl: recovery requires functional mode")
+	}
+	img := p.Cur.Clone()
+	applied, scanned := p.log.ApplyTo(img, p.durableMarker)
+	p.C.Add("recovery_entries_applied", uint64(applied))
+	p.C.Add("recovery_blocks_scanned", uint64(scanned))
+	return img, p.durableMarker, nil
+}
+
+// DurableMarker exposes the persisted-EID NVM record for tests.
+func (p *PiCL) DurableMarker() mem.EpochID { return p.durableMarker }
+
+// RecoverTo rebuilds the memory image of a specific epoch — the
+// multi-undo log's point-in-time capability: any epoch whose blocks are
+// still retained (see Config.RetainEpochs) can be reassembled, not just
+// the newest persisted one.
+func (p *PiCL) RecoverTo(epoch mem.EpochID) (*mem.Image, error) {
+	if !p.Functional {
+		return nil, errors.New("picl: recovery requires functional mode")
+	}
+	if epoch > p.durableMarker {
+		return nil, fmt.Errorf("picl: epoch %d not yet persisted (marker %d)", epoch, p.durableMarker)
+	}
+	floor := p.durableMarker
+	if retain := mem.EpochID(p.cfg.RetainEpochs); floor > retain {
+		floor -= retain
+	} else {
+		floor = 0
+	}
+	if epoch < floor {
+		return nil, fmt.Errorf("picl: epoch %d garbage-collected (retained floor %d)", epoch, floor)
+	}
+	img := p.Cur.Clone()
+	p.log.ApplyTo(img, epoch)
+	return img, nil
+}
+
+// RecoveryEstimate models worst-case recovery latency (§IV-C): scanning
+// the live log from the tail plus applying covered entries, at the NVM's
+// sequential read bandwidth plus one row write per applied entry.
+func (p *PiCL) RecoveryEstimate() (cycles uint64) {
+	cfg := p.Ctl.Config()
+	blocks := p.log.LiveBytes() / undolog.BlockBytes
+	scan := blocks * (cfg.RowReadCycles + uint64(undolog.BlockBytes)*cfg.TransferNum/cfg.TransferDen)
+	apply := blocks * uint64(undolog.EntriesPerBlock) * cfg.RowWriteCycles / 4 // ~25% of scanned entries apply
+	return scan + apply
+}
+
+var _ checkpoint.Scheme = (*PiCL)(nil)
+var _ cache.Backend = (*PiCL)(nil)
+var _ cache.StoreObserver = (*PiCL)(nil)

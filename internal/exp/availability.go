@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"picl/internal/core"
+	"picl/internal/sim"
+	"picl/internal/stats"
+)
+
+// Availability arithmetic from paper §IV-C: with a mean time between
+// failures MTBF, spending R seconds recovering after each failure yields
+// availability 1 - R/MTBF; and a runtime overhead of x means x of every
+// second of compute is lost whether or not a failure occurs. The paper's
+// argument: trading a few hundred extra milliseconds of worst-case
+// recovery (PiCL's ACS-gap and co-mingled log) for the elimination of a
+// double-digit runtime overhead is overwhelmingly worthwhile.
+
+// Availability returns the availability fraction for a recovery latency
+// and MTBF, both in seconds.
+func Availability(recoverySec, mtbfSec float64) float64 {
+	if mtbfSec <= 0 {
+		return 0
+	}
+	a := 1 - recoverySec/mtbfSec
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// RecoveryBudget returns the maximum recovery latency (seconds) that
+// still meets an availability target at the given MTBF — the paper's
+// footnote: "To achieve 99.999%, system must recover within 864 ms"
+// at a one-day MTBF.
+func RecoveryBudget(target, mtbfSec float64) float64 {
+	return (1 - target) * mtbfSec
+}
+
+// OverheadSecondsPerDay returns compute time lost per day to a runtime
+// overhead factor (1.25 -> 25% of capacity, i.e. the machine delivers
+// day/1.25 of useful work; the loss is day - day/factor).
+func OverheadSecondsPerDay(factor float64) float64 {
+	const day = 86400.0
+	if factor <= 1 {
+		return 0
+	}
+	return day - day/factor
+}
+
+// AvailabilityReport builds the §IV-C comparison for a one-day MTBF:
+// each scheme's measured GMean runtime overhead (over the given
+// benchmarks) converted to daily compute loss, next to PiCL's modeled
+// worst-case recovery latency and the availability it implies.
+func (r *Runner) AvailabilityReport(benches []string) (*stats.Table, error) {
+	if benches == nil {
+		benches = SensitivityBenches()
+	}
+	const mtbf = 86400.0 // one day, the paper's assumption
+	t := stats.NewTable("§IV-C: availability and daily compute loss (MTBF = 1 day)",
+		"NormTime", "LostSec/Day", "RecoverySec", "Availability")
+	t.SetFormat("%12.5f")
+
+	for _, scheme := range append([]string{}, Schemes...) {
+		var ratios []float64
+		var recovery float64
+		for _, b := range benches {
+			ideal, err := r.Run("ideal", []string{b})
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(scheme, []string{b})
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+		}
+		if scheme == "picl" {
+			// Model the worst-case log scan for a freshly built machine
+			// over the subset (full-scale equivalent: divide by Factor).
+			for _, b := range benches {
+				cfg, err := r.buildConfig("picl", []string{b})
+				if err != nil {
+					return nil, err
+				}
+				m, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				m.Run()
+				p := m.Scheme().(*core.PiCL)
+				sec := float64(p.RecoveryEstimate()) / 2e9 / r.Scale.Factor
+				if sec > recovery {
+					recovery = sec
+				}
+			}
+		} else {
+			// The paper cites ~62 ms worst-case recovery for undo-based
+			// high-frequency checkpointing at 10 ms periods; synchronous
+			// schemes recover from at most one epoch of log.
+			recovery = 0.062
+		}
+		norm := stats.GeoMean(ratios)
+		t.AddRow(schemeLabel[scheme],
+			norm,
+			OverheadSecondsPerDay(norm),
+			recovery,
+			Availability(recovery, mtbf))
+	}
+	return t, nil
+}

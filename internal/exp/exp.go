@@ -1,0 +1,252 @@
+// Package exp defines one reproducible experiment per table and figure of
+// the paper's evaluation (§VI), at two scales:
+//
+//   - Full scale replicates the paper's parameters exactly (Table IV
+//     hierarchy, 30 M-instruction epochs, 1 B-cycle-class runs). It takes
+//     hours of host CPU.
+//   - Scaled (the default, factor 1/64) shrinks the cache hierarchy,
+//     workload footprints, translation tables, and epoch lengths by the
+//     same power of two, preserving the ratios the results are made of:
+//     write-set per epoch vs. cache capacity, table capacity vs. write
+//     set, flush size vs. epoch duration. The NVM device timing is NOT
+//     scaled (it is a device property), and neither is the 4 KB page
+//     size, which makes the page-granularity baselines comparatively
+//     coarser at small scale — noted in EXPERIMENTS.md.
+//
+// A Runner memoizes (scheme, benchmark, parameter) runs so figures that
+// share data (Figs. 9, 11, 12, 13 all read the single-core matrix) pay
+// for each simulation once.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"picl/internal/baselines"
+	"picl/internal/cache"
+	"picl/internal/core"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+	"picl/internal/sim"
+	"picl/internal/trace"
+)
+
+// Scale fixes the experiment scale.
+type Scale struct {
+	Name string
+	// Factor scales hierarchy, footprints, tables and epoch length.
+	Factor float64
+	// EpochInstr is the checkpoint interval (paper: 30 M x Factor).
+	EpochInstr uint64
+	// Epochs is the run length in epochs for single-core figures
+	// (Fig. 13 measures the log over 8 epochs).
+	Epochs int
+	// MulticoreEpochs bounds the 8-core runs (they cost 8x per epoch).
+	MulticoreEpochs int
+}
+
+// Scaled returns the default miniature scale (factor 1/64).
+func Scaled() Scale {
+	return Scale{
+		Name:            "scaled-1/64",
+		Factor:          1.0 / 64,
+		EpochInstr:      30_000_000 / 64,
+		Epochs:          8,
+		MulticoreEpochs: 4,
+	}
+}
+
+// Full returns the paper-parameter scale.
+func Full() Scale {
+	return Scale{
+		Name:            "full",
+		Factor:          1,
+		EpochInstr:      30_000_000,
+		Epochs:          8,
+		MulticoreEpochs: 4,
+	}
+}
+
+// Hierarchy returns the Table IV hierarchy scaled by s.Factor.
+func (s Scale) Hierarchy(cores int) cache.HierarchyConfig {
+	full := cache.DefaultHierarchyConfig(cores)
+	scaleSize := func(bytes, floor int) int {
+		v := int(float64(bytes) * s.Factor)
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+	full.L1.Size = scaleSize(full.L1.Size, 512)
+	full.L2.Size = scaleSize(full.L2.Size, 2048)
+	full.LLC.Size = scaleSize(full.LLC.Size, 16<<10)
+	return full
+}
+
+// Params returns the baseline table sizes scaled by s.Factor.
+func (s Scale) Params() baselines.Params {
+	return baselines.DefaultParams().Scaled(s.Factor)
+}
+
+// Schemes is the presentation order of the paper's figures.
+var Schemes = []string{"journal", "shadow", "frm", "thynvm", "picl"}
+
+// RunKey identifies one memoized simulation.
+type RunKey struct {
+	Scheme     string
+	Bench      string
+	Cores      int
+	EpochInstr uint64
+	Instr      uint64
+	LLCSize    int
+	NVMName    string
+	ACSGap     int
+	BufEntries int
+}
+
+// Runner executes and memoizes simulations at one scale.
+type Runner struct {
+	Scale Scale
+	// Log, if non-nil, receives one line per completed simulation.
+	Log io.Writer
+
+	mu   sync.Mutex
+	memo map[RunKey]*sim.Result
+}
+
+// NewRunner builds a runner for the given scale.
+func NewRunner(s Scale) *Runner {
+	return &Runner{Scale: s, memo: make(map[RunKey]*sim.Result)}
+}
+
+// Opt mutates a run configuration (sensitivity sweeps).
+type Opt func(*sim.Config)
+
+// WithLLCSize overrides the total shared LLC capacity in bytes
+// (pre-scaling; the runner applies Scale.Factor).
+func WithLLCSize(bytes int) Opt {
+	return func(c *sim.Config) { c.Hierarchy.LLC.Size = bytes }
+}
+
+// WithNVM overrides the device model.
+func WithNVM(cfg nvm.Config) Opt {
+	return func(c *sim.Config) { c.NVM = &cfg }
+}
+
+// WithPiCL overrides PiCL parameters.
+func WithPiCL(cfg core.Config) Opt {
+	return func(c *sim.Config) { c.PiCL = cfg }
+}
+
+// WithEpochInstr overrides the checkpoint interval (pre-scaled value).
+func WithEpochInstr(n uint64) Opt {
+	return func(c *sim.Config) { c.EpochInstr = n }
+}
+
+// WithEpochs overrides the run length in epochs.
+func WithEpochs(n int) Opt {
+	return func(c *sim.Config) { c.InstrPerCore = uint64(n) * c.EpochInstr }
+}
+
+// buildConfig assembles the simulation config for one single- or
+// multi-benchmark run.
+func (r *Runner) buildConfig(scheme string, benches []string, opts ...Opt) (sim.Config, error) {
+	var gens []trace.Generator
+	for i, b := range benches {
+		p, err := trace.ProfileFor(b)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		p = p.Scale(r.Scale.Factor)
+		// Disjoint address regions per core (2^34 lines = 1 TiB apart).
+		base := mem.LineAddr(uint64(i+1) << 34)
+		gens = append(gens, trace.NewSynthetic(p, base, uint64(i)*977+13))
+	}
+	h := r.Scale.Hierarchy(len(benches))
+	epochs := r.Scale.Epochs
+	if len(benches) > 1 {
+		epochs = r.Scale.MulticoreEpochs
+	}
+	cfg := sim.Config{
+		Scheme:       scheme,
+		PiCL:         core.DefaultConfig(),
+		Baseline:     r.Scale.Params(),
+		Workloads:    gens,
+		Hierarchy:    &h,
+		EpochInstr:   r.Scale.EpochInstr,
+		InstrPerCore: uint64(epochs) * r.Scale.EpochInstr,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg, nil
+}
+
+// Run executes (or returns the memoized result of) one run.
+func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result, error) {
+	cfg, err := r.buildConfig(scheme, benches, opts...)
+	if err != nil {
+		return nil, err
+	}
+	key := RunKey{
+		Scheme:     scheme,
+		Bench:      fmt.Sprint(benches),
+		Cores:      len(benches),
+		EpochInstr: cfg.EpochInstr,
+		Instr:      cfg.InstrPerCore,
+		LLCSize:    cfg.Hierarchy.LLC.Size,
+		ACSGap:     cfg.PiCL.ACSGap,
+		BufEntries: cfg.PiCL.BufferEntries,
+	}
+	if cfg.NVM != nil {
+		key.NVMName = cfg.NVM.Name
+	}
+	r.mu.Lock()
+	if res, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := m.Run()
+	r.mu.Lock()
+	r.memo[key] = res
+	r.mu.Unlock()
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, "ran %-8s %-40s cycles=%d commits=%d\n",
+			scheme, key.Bench, res.Cycles, res.Commits)
+	}
+	return res, nil
+}
+
+// MustRun is Run for harness code where errors are programming mistakes.
+func (r *Runner) MustRun(scheme string, benches []string, opts ...Opt) *sim.Result {
+	res, err := r.Run(scheme, benches, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// SortedKeys helps tests inspect the memo deterministically.
+func (r *Runner) SortedKeys() []RunKey {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]RunKey, 0, len(r.memo))
+	for k := range r.memo {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Scheme != keys[b].Scheme {
+			return keys[a].Scheme < keys[b].Scheme
+		}
+		return keys[a].Bench < keys[b].Bench
+	})
+	return keys
+}

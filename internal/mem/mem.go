@@ -1,0 +1,180 @@
+// Package mem defines the primitive types shared by every layer of the
+// PiCL simulation stack: physical addresses, cache-line addresses, epoch
+// identifiers (including the 4-bit hardware tag arithmetic from the paper),
+// and a sparse byte-addressable memory image used for functional
+// verification of crash recovery.
+package mem
+
+import "fmt"
+
+// Line geometry. The paper's evaluated system uses 64-byte cache lines
+// throughout (the OpenPiton prototype tracks 16-byte sub-blocks; see
+// SubBlockSize and the hwcost experiment).
+const (
+	LineSize     = 64   // bytes per cache line
+	LineShift    = 6    // log2(LineSize)
+	SubBlockSize = 16   // OpenPiton private-cache block size (paper §V-A)
+	PageSize     = 4096 // bytes per OS page (Shadow-Paging / ThyNVM granularity)
+	PageShift    = 12   // log2(PageSize)
+	LinesPerPage = PageSize / LineSize
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// LineAddr is a cache-line-aligned address expressed in line units
+// (byte address >> LineShift). Using line units rather than byte
+// addresses in the hot simulation paths avoids repeated shifting and
+// makes accidental misalignment impossible by construction.
+type LineAddr uint64
+
+// PageAddr is a page-aligned address in page units.
+type PageAddr uint64
+
+// Line returns the cache line containing byte address a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Page returns the page containing byte address a.
+func (a Addr) Page() PageAddr { return PageAddr(a >> PageShift) }
+
+// Addr returns the first byte address of the line.
+func (l LineAddr) Addr() Addr { return Addr(l) << LineShift }
+
+// Page returns the page containing the line.
+func (l LineAddr) Page() PageAddr { return PageAddr(l >> (PageShift - LineShift)) }
+
+// Addr returns the first byte address of the page.
+func (p PageAddr) Addr() Addr { return Addr(p) << PageShift }
+
+// FirstLine returns the first line of the page.
+func (p PageAddr) FirstLine() LineAddr { return LineAddr(p) << (PageShift - LineShift) }
+
+func (a Addr) String() string     { return fmt.Sprintf("0x%x", uint64(a)) }
+func (l LineAddr) String() string { return fmt.Sprintf("L0x%x", uint64(l)) }
+func (p PageAddr) String() string { return fmt.Sprintf("P0x%x", uint64(p)) }
+
+// EpochID identifies a checkpoint epoch. The simulator carries the full
+// monotonically increasing value; real PiCL hardware stores only a small
+// tag (TagBits wide) per cache line, which is unambiguous as long as the
+// system enforces SystemEID-PersistedEID < 2^TagBits-1 (the ACS engine
+// provides exactly that bound). TagOf/ResolveTag model the hardware
+// truncation and are exercised by tests to show the 4-bit scheme is safe.
+type EpochID uint64
+
+// NoEpoch marks a cache line that has no epoch association yet (a line
+// freshly loaded from memory, never stored to). The paper: "A line loaded
+// from the memory to the LLC initially has no EID associated."
+const NoEpoch EpochID = ^EpochID(0)
+
+// TagBits is the hardware EID tag width (paper §IV-A: "4-bit values are
+// sufficient").
+const TagBits = 4
+
+// TagMask selects the stored tag bits.
+const TagMask = (1 << TagBits) - 1
+
+// EpochTag is the truncated hardware representation of an EpochID.
+type EpochTag uint8
+
+// Tag returns the hardware tag for e.
+func (e EpochID) Tag() EpochTag { return EpochTag(e & TagMask) }
+
+// ResolveTag reconstructs the full EpochID for a hardware tag t observed
+// while the system's current epoch is system. The reconstruction is the
+// unique EpochID e <= system with e.Tag() == t and system-e < 2^TagBits;
+// it is only valid under the ACS-gap invariant documented on EpochID.
+func ResolveTag(t EpochTag, system EpochID) EpochID {
+	delta := (EpochTag(system&TagMask) - t) & TagMask
+	return system - EpochID(delta)
+}
+
+// Word is the per-line payload carried through the simulation. Real
+// hardware moves 64-byte lines; carrying a single 64-bit digest per line
+// preserves every property the crash-consistency machinery depends on
+// (which version of the line is where) at 1/8 the memory cost. Payload
+// values are derived from (line, epoch, sequence) so that any stale or
+// misordered restore is detected by the golden-state checker.
+type Word uint64
+
+// PayloadFor derives the canonical payload written by store number seq of
+// epoch e to line l. It is a cheap 64-bit mix (xorshift-multiply) chosen
+// so distinct inputs virtually never collide in tests.
+func PayloadFor(l LineAddr, e EpochID, seq uint64) Word {
+	x := uint64(l)*0x9e3779b97f4a7c15 ^ uint64(e)*0xbf58476d1ce4e5b9 ^ seq*0x94d049bb133111eb
+	x ^= x >> 31
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 27
+	return Word(x)
+}
+
+// Image is a sparse line-granular memory image: the functional contents of
+// main memory (NVM). Lines never written remain at the zero Word.
+type Image struct {
+	lines map[LineAddr]Word
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image { return &Image{lines: make(map[LineAddr]Word)} }
+
+// Read returns the current content of line l (zero if never written).
+func (im *Image) Read(l LineAddr) Word { return im.lines[l] }
+
+// Write sets the content of line l.
+func (im *Image) Write(l LineAddr, w Word) {
+	if w == 0 {
+		delete(im.lines, l)
+		return
+	}
+	im.lines[l] = w
+}
+
+// Len reports how many lines hold non-zero content.
+func (im *Image) Len() int { return len(im.lines) }
+
+// Clone returns a deep copy of the image (used by the golden checker to
+// snapshot end-of-epoch states in small functional runs).
+func (im *Image) Clone() *Image {
+	c := NewImage()
+	for l, w := range im.lines {
+		c.lines[l] = w
+	}
+	return c
+}
+
+// Equal reports whether two images hold identical content.
+func (im *Image) Equal(other *Image) bool {
+	if len(im.lines) != len(other.lines) {
+		return false
+	}
+	for l, w := range im.lines {
+		if other.lines[l] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns up to max lines on which the two images differ, for
+// diagnostic messages from the recovery checker.
+func (im *Image) Diff(other *Image, max int) []LineAddr {
+	var out []LineAddr
+	seen := make(map[LineAddr]bool)
+	for l, w := range im.lines {
+		if other.lines[l] != w {
+			out = append(out, l)
+			seen[l] = true
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	for l, w := range other.lines {
+		if !seen[l] && im.lines[l] != w {
+			out = append(out, l)
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinePageGeometry(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line LineAddr
+		page PageAddr
+	}{
+		{0, 0, 0},
+		{63, 0, 0},
+		{64, 1, 0},
+		{4095, 63, 0},
+		{4096, 64, 1},
+		{0xdeadbeef, 0xdeadbeef >> 6, 0xdeadbeef >> 12},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("%v.Line() = %v, want %v", c.addr, got, c.line)
+		}
+		if got := c.addr.Page(); got != c.page {
+			t.Errorf("%v.Page() = %v, want %v", c.addr, got, c.page)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(l uint64) bool {
+		la := LineAddr(l & 0x3ffffffffffff) // stay inside addressable range
+		return la.Addr().Line() == la
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageLineRelations(t *testing.T) {
+	p := PageAddr(7)
+	first := p.FirstLine()
+	if first.Page() != p {
+		t.Fatalf("FirstLine().Page() = %v, want %v", first.Page(), p)
+	}
+	if got := LineAddr(uint64(first) + LinesPerPage - 1).Page(); got != p {
+		t.Fatalf("last line of page maps to %v, want %v", got, p)
+	}
+	if got := LineAddr(uint64(first) + LinesPerPage).Page(); got != p+1 {
+		t.Fatalf("line past page maps to %v, want %v", got, p+1)
+	}
+}
+
+func TestResolveTagExact(t *testing.T) {
+	// For every (system, delta < 15) pair the truncated tag must resolve
+	// back to the original epoch. delta = 15 is excluded: the hardware
+	// invariant is SystemEID - PersistedEID < 2^TagBits so a live tag is
+	// never a full wrap behind.
+	for system := EpochID(0); system < 64; system++ {
+		maxDelta := EpochID(TagMask)
+		if system < maxDelta {
+			maxDelta = system
+		}
+		for delta := EpochID(0); delta <= maxDelta; delta++ {
+			e := system - delta
+			if got := ResolveTag(e.Tag(), system); got != e {
+				t.Fatalf("ResolveTag(tag(%d), %d) = %d, want %d", e, system, got, e)
+			}
+		}
+	}
+}
+
+func TestResolveTagQuick(t *testing.T) {
+	f := func(sys uint64, d uint8) bool {
+		system := EpochID(sys)
+		delta := EpochID(d % TagMask) // strictly less than 2^TagBits-1... allow up to 15
+		if delta > system {
+			delta = system
+		}
+		e := system - delta
+		return ResolveTag(e.Tag(), system) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadForDistinct(t *testing.T) {
+	seen := make(map[Word][3]uint64)
+	for l := uint64(0); l < 50; l++ {
+		for e := uint64(0); e < 50; e++ {
+			for s := uint64(0); s < 4; s++ {
+				w := PayloadFor(LineAddr(l), EpochID(e), s)
+				if prev, ok := seen[w]; ok {
+					t.Fatalf("payload collision: (%d,%d,%d) and %v -> %v", l, e, s, prev, w)
+				}
+				seen[w] = [3]uint64{l, e, s}
+			}
+		}
+	}
+}
+
+func TestImageBasics(t *testing.T) {
+	im := NewImage()
+	if got := im.Read(5); got != 0 {
+		t.Fatalf("fresh image Read = %v, want 0", got)
+	}
+	im.Write(5, 42)
+	im.Write(9, 99)
+	if im.Read(5) != 42 || im.Read(9) != 99 {
+		t.Fatal("Write/Read mismatch")
+	}
+	if im.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", im.Len())
+	}
+	im.Write(5, 0) // writing zero erases the sparse entry
+	if im.Len() != 1 || im.Read(5) != 0 {
+		t.Fatal("zero write did not clear entry")
+	}
+}
+
+func TestImageCloneIsDeep(t *testing.T) {
+	im := NewImage()
+	im.Write(1, 10)
+	c := im.Clone()
+	c.Write(1, 20)
+	if im.Read(1) != 10 {
+		t.Fatal("Clone is not deep")
+	}
+	if im.Equal(c) {
+		t.Fatal("Equal reported modified clone as equal")
+	}
+	c.Write(1, 10)
+	if !im.Equal(c) {
+		t.Fatal("Equal reported identical images as different")
+	}
+}
+
+func TestImageEqualAsymmetricKeys(t *testing.T) {
+	a, b := NewImage(), NewImage()
+	a.Write(1, 1)
+	b.Write(2, 2)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("images with disjoint keys reported equal")
+	}
+}
+
+func TestImageDiff(t *testing.T) {
+	a, b := NewImage(), NewImage()
+	a.Write(1, 1)
+	a.Write(2, 2)
+	b.Write(2, 3)
+	b.Write(4, 4)
+	d := a.Diff(b, 10)
+	if len(d) != 3 {
+		t.Fatalf("Diff len = %d (%v), want 3", len(d), d)
+	}
+	if got := a.Diff(b, 1); len(got) != 1 {
+		t.Fatalf("Diff with max=1 returned %d entries", len(got))
+	}
+	if got := a.Diff(a, 10); len(got) != 0 {
+		t.Fatalf("self Diff = %v, want empty", got)
+	}
+}

@@ -1,0 +1,433 @@
+// Package sim is the trace-driven multi-core simulation engine (the
+// stand-in for the paper's Pin+PRIME methodology, §VI-A): in-order cores
+// at CPI 1 for non-memory instructions, blocking loads, store-buffered
+// stores, a shared cache hierarchy, an FCFS NVM controller, and
+// epoch-boundary interrupts delivered to the active checkpointing scheme.
+//
+// In functional mode the engine additionally maintains a golden reference
+// of end-of-epoch memory states and supports crash injection: the run is
+// frozen at an arbitrary instant, the scheme recovers from its durable
+// state, and the result is compared bit-exactly against the golden image
+// of the epoch the scheme claims to have restored.
+package sim
+
+import (
+	"fmt"
+
+	"picl/internal/baselines"
+	"picl/internal/cache"
+	"picl/internal/checkpoint"
+	"picl/internal/core"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+	"picl/internal/stats"
+	"picl/internal/trace"
+)
+
+// SchemeNames lists every scheme the engine can instantiate, in the
+// paper's presentation order.
+func SchemeNames() []string {
+	return []string{"ideal", "journal", "shadow", "frm", "thynvm", "picl"}
+}
+
+// MakeScheme instantiates a scheme by name over the given controller.
+func MakeScheme(name string, ctl *nvm.Controller, functional bool, piclCfg core.Config, params baselines.Params) (checkpoint.Scheme, error) {
+	switch name {
+	case "ideal":
+		return baselines.NewIdeal(ctl, functional), nil
+	case "journal":
+		return baselines.NewJournalWith(ctl, functional, params), nil
+	case "shadow":
+		return baselines.NewShadowWith(ctl, functional, params), nil
+	case "frm":
+		return baselines.NewFRM(ctl, functional), nil
+	case "thynvm":
+		return baselines.NewThyNVMWith(ctl, functional, params), nil
+	case "picl":
+		return core.New(piclCfg, ctl, functional), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", name)
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Scheme is the checkpointing scheme name (see SchemeNames).
+	Scheme string
+	// PiCL carries PiCL-specific parameters when Scheme == "picl".
+	PiCL core.Config
+	// Baseline sizes the redo schemes' translation tables (zero value =
+	// paper defaults).
+	Baseline baselines.Params
+	// Workloads holds one generator per core.
+	Workloads []trace.Generator
+	// Hierarchy defaults to the Table IV system for len(Workloads) cores.
+	Hierarchy *cache.HierarchyConfig
+	// NVM defaults to nvm.DefaultConfig.
+	NVM *nvm.Config
+	// EpochInstr is the checkpoint interval in instructions per core
+	// (paper default: 30 M).
+	EpochInstr uint64
+	// InstrPerCore is the run length per core.
+	InstrPerCore uint64
+	// OSHandlerLines models the per-core epoch-boundary interrupt handler
+	// (paper §V-A): at every commit the OS saves registers and arithmetic
+	// state with cacheable stores to a fixed per-core area. Default 4
+	// lines (256 B of architectural state); 0 disables.
+	OSHandlerLines int
+	// Timeline records per-epoch statistics (Result.Timeline) — useful
+	// for visualizing the baselines' stop-the-world commit spikes against
+	// PiCL's flat profile.
+	Timeline bool
+	// Functional enables content tracking, golden snapshots and crash
+	// injection (slower; used by correctness tests and examples).
+	Functional bool
+	// KeepGolden retains end-of-epoch snapshots (functional mode only);
+	// disable for long functional runs that only need final recovery.
+	KeepGolden bool
+}
+
+// EpochSample is one epoch's slice of a run timeline.
+type EpochSample struct {
+	Epoch mem.EpochID
+	// Cycles is wall-clock spent in this epoch interval.
+	Cycles uint64
+	// StallCycles is boundary stop-the-world time charged to the epoch.
+	StallCycles uint64
+	// Writebacks/Random/Sequential are NVM ops issued during the epoch.
+	Writebacks, Random, Sequential uint64
+	// Commits in the interval (forced commits make this > 1).
+	Commits uint64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Scheme       string
+	Cores        int
+	Cycles       uint64
+	Instructions uint64
+	Commits      uint64
+	ForcedCommit uint64
+	// BoundaryStallCycles is time lost to stop-the-world commits.
+	BoundaryStallCycles uint64
+	NVM                 nvm.Stats
+	Counters            *stats.Counters
+	// LogPeakBytes/LogTotalBytes report PiCL's undo-log footprint.
+	LogPeakBytes  uint64
+	LogTotalBytes uint64
+	// Timeline holds per-epoch samples when Config.Timeline is set.
+	Timeline []EpochSample
+}
+
+// NormalizedIOPS returns the scheme's operations in a Fig. 12 category
+// divided by base write-back traffic (pass the Ideal run's write-backs).
+func (r *Result) NormalizedIOPS(cat nvm.Category, baseWritebacks uint64) float64 {
+	if baseWritebacks == 0 {
+		return 0
+	}
+	return float64(r.NVM.Ops(cat)) / float64(baseWritebacks)
+}
+
+type coreState struct {
+	gen   trace.Generator
+	clock uint64
+	instr uint64
+	seq   uint64
+}
+
+// Machine is one configured simulation instance.
+type Machine struct {
+	cfg    Config
+	scheme checkpoint.Scheme
+	hier   *cache.Hierarchy
+	ctl    *nvm.Controller
+	cores  []*coreState
+
+	totalInstr uint64
+	stallCyc   uint64
+	osSeq      uint64
+
+	timeline  []EpochSample
+	lastEpoch struct {
+		at      uint64
+		stall   uint64
+		commits uint64
+		nvm     nvm.Stats
+	}
+
+	ref    *mem.Image
+	golden []*mem.Image
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("sim: no workloads")
+	}
+	if cfg.EpochInstr == 0 {
+		cfg.EpochInstr = 30_000_000
+	}
+	if cfg.InstrPerCore == 0 {
+		cfg.InstrPerCore = 8 * cfg.EpochInstr
+	}
+	nvmCfg := nvm.DefaultConfig()
+	if cfg.NVM != nil {
+		nvmCfg = *cfg.NVM
+	}
+	if cfg.Functional && nvmCfg.Reordering() {
+		return nil, fmt.Errorf("sim: functional durability tracking requires the FCFS single-bank controller (Banks=%d ReadPriority=%v)", nvmCfg.Banks, nvmCfg.ReadPriority)
+	}
+	ctl := nvm.NewController(nvmCfg)
+	scheme, err := MakeScheme(cfg.Scheme, ctl, cfg.Functional, cfg.PiCL, cfg.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	hcfg := cache.DefaultHierarchyConfig(len(cfg.Workloads))
+	if cfg.Hierarchy != nil {
+		hcfg = *cfg.Hierarchy
+		hcfg.Cores = len(cfg.Workloads)
+	}
+	hier := cache.NewHierarchy(hcfg, scheme, scheme)
+	scheme.Attach(hier)
+
+	if cfg.OSHandlerLines == 0 {
+		cfg.OSHandlerLines = 4
+	}
+	if cfg.OSHandlerLines < 0 {
+		cfg.OSHandlerLines = 0
+	}
+	m := &Machine{cfg: cfg, scheme: scheme, hier: hier, ctl: ctl}
+	for _, g := range cfg.Workloads {
+		m.cores = append(m.cores, &coreState{gen: g})
+	}
+	if cfg.Functional {
+		m.ref = mem.NewImage()
+		if cfg.KeepGolden {
+			m.golden = append(m.golden, m.ref.Clone())
+			// Snapshot the golden end-of-epoch state at every commit,
+			// including forced early commits triggered inside evictions.
+			scheme.SetCommitHook(func() {
+				m.golden = append(m.golden, m.ref.Clone())
+			})
+		}
+	}
+	return m, nil
+}
+
+// Scheme exposes the scheme under test.
+func (m *Machine) Scheme() checkpoint.Scheme { return m.scheme }
+
+// Hierarchy exposes the cache hierarchy.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Controller exposes the NVM controller.
+func (m *Machine) Controller() *nvm.Controller { return m.ctl }
+
+// Now returns the maximum core clock (system time).
+func (m *Machine) Now() uint64 {
+	var t uint64
+	for _, c := range m.cores {
+		if c.clock > t {
+			t = c.clock
+		}
+	}
+	return t
+}
+
+// step runs one access quantum on the given core.
+func (m *Machine) step(c *coreState, coreID int) {
+	a := c.gen.Next()
+	c.clock += uint64(a.Gap) + 1
+	c.instr += uint64(a.Gap) + 1
+	m.totalInstr += uint64(a.Gap) + 1
+	if a.Write {
+		c.seq++
+		var payload mem.Word
+		if m.cfg.Functional {
+			payload = mem.PayloadFor(a.Line, m.scheme.SystemEID(), c.seq)
+		}
+		if stall := m.hier.Store(c.clock, coreID, a.Line, payload); stall > c.clock {
+			c.clock = stall
+		}
+		if m.cfg.Functional {
+			// The reference updates after the store so a forced commit
+			// inside the store's eviction path (which flushes the
+			// pre-store cache state) snapshots a matching golden image.
+			m.ref.Write(a.Line, payload)
+		}
+	} else {
+		_, done := m.hier.Load(c.clock, coreID, a.Line)
+		c.clock = done
+	}
+}
+
+// boundary delivers the epoch interrupt: all cores synchronize at the
+// barrier, the scheme commits, and everyone resumes at the scheme's
+// resume time (stop-the-world schemes stall here).
+func (m *Machine) boundary() {
+	now := m.Now()
+	resume := m.scheme.EpochBoundary(now)
+	if resume < now {
+		resume = now
+	}
+	m.stallCyc += resume - now
+	for _, c := range m.cores {
+		if c.clock < resume {
+			c.clock = resume
+		}
+	}
+	m.scheme.Tick(resume)
+	if m.cfg.Timeline {
+		m.sampleEpoch(resume)
+	}
+	// The OS boundary handler saves each core's architectural state with
+	// cacheable stores (paper §V-A); these belong to the new epoch.
+	for coreID, c := range m.cores {
+		for i := 0; i < m.cfg.OSHandlerLines; i++ {
+			m.osSeq++
+			l := osSaveArea + mem.LineAddr(coreID*64+i)
+			var payload mem.Word
+			if m.cfg.Functional {
+				payload = mem.PayloadFor(l, m.scheme.SystemEID(), m.osSeq)
+			}
+			if stall := m.hier.Store(c.clock, coreID, l, payload); stall > c.clock {
+				c.clock = stall
+			}
+			if m.cfg.Functional {
+				m.ref.Write(l, payload)
+			}
+		}
+	}
+}
+
+// osSaveArea is the fixed OS-visible region for boundary-handler state,
+// disjoint from the harness workload address spaces.
+const osSaveArea mem.LineAddr = 1 << 33
+
+// sampleEpoch appends a timeline entry for the interval since the last
+// boundary.
+func (m *Machine) sampleEpoch(now uint64) {
+	cur := m.ctl.Stats()
+	prev := &m.lastEpoch
+	m.timeline = append(m.timeline, EpochSample{
+		Epoch:       m.scheme.SystemEID() - 1,
+		Cycles:      now - prev.at,
+		StallCycles: m.stallCyc - prev.stall,
+		Writebacks:  cur.Ops(nvm.CatWriteback) - prev.nvm.Ops(nvm.CatWriteback),
+		Random:      cur.Ops(nvm.CatRandom) - prev.nvm.Ops(nvm.CatRandom),
+		Sequential:  cur.Ops(nvm.CatSequential) - prev.nvm.Ops(nvm.CatSequential),
+		Commits:     m.scheme.Commits() - prev.commits,
+	})
+	prev.at = now
+	prev.stall = m.stallCyc
+	prev.commits = m.scheme.Commits()
+	prev.nvm = cur
+}
+
+// Run executes the configured instruction budget and returns the result.
+func (m *Machine) Run() *Result {
+	return m.RunUntil(nil)
+}
+
+// RunUntil executes until the budget is exhausted or stop (if non-nil)
+// returns true; stop is polled between access quanta with the system
+// time. Used for crash injection at an instruction-precise point.
+func (m *Machine) RunUntil(stop func(now uint64, instr uint64) bool) *Result {
+	target := m.cfg.InstrPerCore
+	epochEvery := m.cfg.EpochInstr * uint64(len(m.cores))
+	nextEpoch := epochEvery
+	tickEvery := uint64(2_000_000)
+	nextTick := tickEvery
+
+	for {
+		// Pick the lagging core that still has budget.
+		var c *coreState
+		coreID := -1
+		for i, cand := range m.cores {
+			if cand.instr >= target {
+				continue
+			}
+			if c == nil || cand.clock < c.clock {
+				c, coreID = cand, i
+			}
+		}
+		if c == nil {
+			break
+		}
+		m.step(c, coreID)
+		if m.totalInstr >= nextEpoch {
+			m.boundary()
+			nextEpoch += epochEvery
+		}
+		if m.totalInstr >= nextTick {
+			m.scheme.Tick(m.Now())
+			nextTick += tickEvery
+		}
+		if stop != nil && stop(m.Now(), m.totalInstr) {
+			break
+		}
+	}
+	m.scheme.Tick(m.Now())
+	return m.result()
+}
+
+func (m *Machine) result() *Result {
+	r := &Result{
+		Scheme:              m.scheme.Name(),
+		Cores:               len(m.cores),
+		Cycles:              m.Now(),
+		Instructions:        m.totalInstr,
+		Commits:             m.scheme.Commits(),
+		BoundaryStallCycles: m.stallCyc,
+		NVM:                 m.ctl.Stats(),
+		Counters:            m.scheme.Counters(),
+	}
+	r.Timeline = m.timeline
+	if p, ok := m.scheme.(*core.PiCL); ok {
+		r.LogPeakBytes = p.Log().PeakBytes()
+		r.LogTotalBytes = p.Log().TotalBytes()
+	}
+	switch s := m.scheme.(type) {
+	case *baselines.Journal:
+		r.ForcedCommit = s.ForcedCommits
+	case *baselines.Shadow:
+		r.ForcedCommit = s.ForcedCommits
+	case *baselines.ThyNVM:
+		r.ForcedCommit = s.ForcedCommits
+	}
+	return r
+}
+
+// Golden returns the end-of-epoch snapshot for epoch e (functional +
+// KeepGolden runs only).
+func (m *Machine) Golden(e mem.EpochID) (*mem.Image, bool) {
+	if int(e) >= len(m.golden) {
+		return nil, false
+	}
+	return m.golden[e], true
+}
+
+// Reference returns the running architectural reference image.
+func (m *Machine) Reference() *mem.Image { return m.ref }
+
+// CrashAndRecover injects a crash at time t, runs the scheme's recovery,
+// and verifies the result against the golden snapshot. It returns the
+// recovered epoch, or an error describing the inconsistency.
+func (m *Machine) CrashAndRecover(t uint64) (mem.EpochID, error) {
+	if !m.cfg.Functional || !m.cfg.KeepGolden {
+		return 0, fmt.Errorf("sim: crash injection requires Functional and KeepGolden")
+	}
+	m.scheme.CrashAt(t)
+	img, eid, err := m.scheme.Recover()
+	if err != nil {
+		return 0, err
+	}
+	want, ok := m.Golden(eid)
+	if !ok {
+		return eid, fmt.Errorf("sim: recovered to epoch %d with only %d epochs recorded", eid, len(m.golden)-1)
+	}
+	if !img.Equal(want) {
+		return eid, fmt.Errorf("sim: recovery to epoch %d diverges on lines %v", eid, img.Diff(want, 5))
+	}
+	return eid, nil
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"picl/internal/mem"
+)
+
+// Trace file format: a plain-text memory reference stream so users can
+// run their own (e.g. Pin- or Valgrind-captured) traces through the
+// simulator instead of the synthetic SPEC models.
+//
+//	# comment
+//	R 1a2b 3     <- read  of line 0x1a2b after 3 non-memory instructions
+//	W 1a2c 0     <- write of line 0x1a2c immediately after
+//
+// Addresses are cache-line numbers in hex; the gap is decimal.
+
+// WriteTrace serializes accesses to w in the text format.
+func WriteTrace(w io.Writer, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# picl trace v1: R|W <hex line> <gap>"); err != nil {
+		return err
+	}
+	for _, a := range accs {
+		op := byte('R')
+		if a.Write {
+			op = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%c %x %d\n", op, uint64(a.Line), a.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a text trace.
+func ReadTrace(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'R|W <hex> <gap>', got %q", lineNo, line)
+		}
+		var write bool
+		switch fields[0] {
+		case "R", "r":
+			write = false
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		gap, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gap: %v", lineNo, err)
+		}
+		out = append(out, Access{Write: write, Line: mem.LineAddr(addr), Gap: uint32(gap)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: no accesses")
+	}
+	return out, nil
+}
+
+// Record captures n accesses from a generator (for saving synthetic
+// workloads to files, or building test fixtures).
+func Record(g Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Replayer is a Generator that cycles through a recorded access slice.
+type Replayer struct {
+	name string
+	accs []Access
+	pos  int
+	// Loops counts completed passes over the trace.
+	Loops int
+}
+
+// NewReplayer wraps a recorded trace as a Generator. The trace must be
+// non-empty.
+func NewReplayer(name string, accs []Access) *Replayer {
+	if len(accs) == 0 {
+		panic("trace: empty replay trace")
+	}
+	return &Replayer{name: name, accs: accs}
+}
+
+// Name returns the replayer's label.
+func (r *Replayer) Name() string { return r.name }
+
+// Next returns the next recorded access, looping at the end (SimPoint
+// regions are replayed cyclically at full scale too).
+func (r *Replayer) Next() Access {
+	a := r.accs[r.pos]
+	r.pos++
+	if r.pos == len(r.accs) {
+		r.pos = 0
+		r.Loops++
+	}
+	return a
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	g := NewSynthetic(MustProfile("gcc").Scale(0.01), 100, 5)
+	orig := Record(g, 5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len = %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("access %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"X 12 0\n",          // bad op
+		"R zz 0\n",          // bad hex
+		"R 12 notanum\n",    // bad gap
+		"R 12\n",            // missing field
+		"R 12 0 extra oh\n", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted garbage %q", c)
+		}
+	}
+}
+
+func TestReadTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR a 1\n  \nW b 2\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Write || !got[1].Write {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got[0].Line != 0xa || got[1].Line != 0xb || got[1].Gap != 2 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	accs := []Access{{Line: 1}, {Line: 2, Write: true}}
+	r := NewReplayer("t", accs)
+	if r.Name() != "t" {
+		t.Fatal("name")
+	}
+	for i := 0; i < 5; i++ {
+		if got := r.Next().Line; got != accs[i%2].Line {
+			t.Fatalf("access %d: line %v", i, got)
+		}
+	}
+	if r.Loops != 2 {
+		t.Fatalf("Loops = %d, want 2", r.Loops)
+	}
+}
+
+func TestReplayerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replayer accepted")
+		}
+	}()
+	NewReplayer("x", nil)
+}
+
+func TestSampleTraceFixture(t *testing.T) {
+	f, err := os.Open("testdata/sample.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	accs, err := ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 2000 {
+		t.Fatalf("fixture has %d accesses, want 2000", len(accs))
+	}
+	writes := 0
+	for _, a := range accs {
+		if a.Write {
+			writes++
+		}
+	}
+	if writes == 0 || writes == len(accs) {
+		t.Fatalf("fixture write mix implausible: %d/%d", writes, len(accs))
+	}
+}

@@ -1,0 +1,148 @@
+package undolog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"picl/internal/mem"
+)
+
+// On-NVM byte layout of the undo log (paper Fig. 5a, concretized).
+//
+// A block is exactly BlockBytes (2048) long — one row-buffer-sized
+// sequential write:
+//
+//	offset 0   magic       "PCLB" (4 B)
+//	offset 4   entryCount  uint16
+//	offset 6   reserved    uint16
+//	offset 8   maxTill     uint64 (superblock expiration tag, §IV-B)
+//	offset 16  entries     entryCount x 72 B records
+//	...        zero padding
+//	offset 2044 crc32      of bytes [0, 2044) (Castagnoli)
+//
+// Each 72-byte entry record:
+//
+//	offset 0   line        uint64 (line address)
+//	offset 8   validFrom   uint64
+//	offset 16  validTill   uint64
+//	offset 24  data        64-bit payload word + 40 B reserved for the
+//	                       full line image in a data-carrying deployment
+//
+// The CRC stands in for the ECC a real NVDIMM row carries; recovery uses
+// it to stop at a torn tail block (a block whose 2 KB write was
+// interrupted mid-row by the power failure).
+var blockMagic = [4]byte{'P', 'C', 'L', 'B'}
+
+const (
+	blockHeaderBytes = 16
+	blockCRCOffset   = BlockBytes - 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptBlock reports a block that fails its magic or CRC check.
+var ErrCorruptBlock = errors.New("undolog: corrupt block")
+
+// EncodeBlock serializes a block into its durable 2 KB representation.
+func EncodeBlock(b Block) ([]byte, error) {
+	if len(b.Entries) > EntriesPerBlock {
+		return nil, fmt.Errorf("undolog: %d entries exceed block capacity %d", len(b.Entries), EntriesPerBlock)
+	}
+	out := make([]byte, BlockBytes)
+	copy(out[0:4], blockMagic[:])
+	binary.LittleEndian.PutUint16(out[4:6], uint16(len(b.Entries)))
+	binary.LittleEndian.PutUint64(out[8:16], uint64(b.MaxValidTill))
+	off := blockHeaderBytes
+	for _, e := range b.Entries {
+		binary.LittleEndian.PutUint64(out[off:], uint64(e.Line))
+		binary.LittleEndian.PutUint64(out[off+8:], uint64(e.ValidFrom))
+		binary.LittleEndian.PutUint64(out[off+16:], uint64(e.ValidTill))
+		binary.LittleEndian.PutUint64(out[off+24:], uint64(e.Old))
+		off += EntryBytes
+	}
+	crc := crc32.Checksum(out[:blockCRCOffset], castagnoli)
+	binary.LittleEndian.PutUint32(out[blockCRCOffset:], crc)
+	return out, nil
+}
+
+// DecodeBlock parses a durable block, verifying magic and CRC.
+func DecodeBlock(raw []byte) (Block, error) {
+	if len(raw) != BlockBytes {
+		return Block{}, fmt.Errorf("undolog: block is %d bytes, want %d", len(raw), BlockBytes)
+	}
+	if [4]byte(raw[0:4]) != blockMagic {
+		return Block{}, fmt.Errorf("%w: bad magic", ErrCorruptBlock)
+	}
+	if crc := crc32.Checksum(raw[:blockCRCOffset], castagnoli); crc != binary.LittleEndian.Uint32(raw[blockCRCOffset:]) {
+		return Block{}, fmt.Errorf("%w: CRC mismatch", ErrCorruptBlock)
+	}
+	n := int(binary.LittleEndian.Uint16(raw[4:6]))
+	if n > EntriesPerBlock {
+		return Block{}, fmt.Errorf("%w: entry count %d", ErrCorruptBlock, n)
+	}
+	b := Block{MaxValidTill: mem.EpochID(binary.LittleEndian.Uint64(raw[8:16]))}
+	off := blockHeaderBytes
+	for i := 0; i < n; i++ {
+		b.Entries = append(b.Entries, Entry{
+			Line:      mem.LineAddr(binary.LittleEndian.Uint64(raw[off:])),
+			ValidFrom: mem.EpochID(binary.LittleEndian.Uint64(raw[off+8:])),
+			ValidTill: mem.EpochID(binary.LittleEndian.Uint64(raw[off+16:])),
+			Old:       mem.Word(binary.LittleEndian.Uint64(raw[off+24:])),
+		})
+		off += EntryBytes
+	}
+	return b, nil
+}
+
+// WriteTo serializes the live log (oldest block first) to w — the
+// byte-exact NVM region content. It returns the bytes written.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, b := range l.blocks {
+		raw, err := EncodeBlock(b)
+		if err != nil {
+			return total, err
+		}
+		n, err := w.Write(raw)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadLog reconstructs a log from its durable byte representation,
+// stopping cleanly at a torn or corrupt tail block (whose entries are,
+// by the write-ahead ordering, not yet required by any persisted
+// checkpoint). It returns the log and how many whole blocks were read.
+func ReadLog(r io.Reader, regionBytes uint64) (*Log, int, error) {
+	l := NewLog(regionBytes)
+	buf := make([]byte, BlockBytes)
+	read := 0
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			return l, read, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn tail write: the crash interrupted the final block.
+			return l, read, nil
+		}
+		if err != nil {
+			return l, read, err
+		}
+		b, err := DecodeBlock(buf)
+		if err != nil {
+			if errors.Is(err, ErrCorruptBlock) {
+				return l, read, nil // stop at the torn tail
+			}
+			return l, read, err
+		}
+		l.AppendBlock(b.Entries)
+		read++
+	}
+}

@@ -1,0 +1,369 @@
+// Package picl is a software-transparent, persistent cache log for
+// nonvolatile main memory — a from-scratch reproduction of Nguyen &
+// Wentzlaff, "PiCL: a Software-Transparent, Persistent Cache Log for
+// Nonvolatile Main Memory" (MICRO 2018).
+//
+// The package offers a high-level facade over the full simulation stack
+// (cache hierarchy, NVM device model, checkpointing schemes): build a
+// Machine, issue line-granular reads and writes like a program would,
+// commit epochs, pull the plug at any instant, and recover — bit-exact —
+// to the last persisted checkpoint. Software on top needs no transactions,
+// no persist barriers, no cache-flush instructions: that is the paper's
+// point.
+//
+//	m, _ := picl.New()
+//	m.Write(0x1000, 42)
+//	m.CommitEpoch()
+//	...
+//	m.Crash()
+//	img, epoch, _ := m.Recover()
+//
+// Lower layers are available under internal/ for the experiment harness
+// (cmd/picl-bench regenerates every table and figure of the paper) and
+// are documented in DESIGN.md.
+//
+// Granularity note: the simulation carries one 64-bit word per 64-byte
+// cache line as the line's content. Write(addr, v) sets the content of
+// the line containing addr; Read(addr) returns it. This preserves every
+// crash-consistency property (which version of which line survives)
+// at one eighth of the memory cost of full line data.
+package picl
+
+import (
+	"errors"
+	"fmt"
+
+	"picl/internal/baselines"
+	"picl/internal/cache"
+	"picl/internal/checkpoint"
+	"picl/internal/core"
+	"picl/internal/mem"
+	"picl/internal/nvm"
+	"picl/internal/sim"
+)
+
+// Config re-exports PiCL's hardware parameters (ACS gap, undo buffer
+// size, bloom filter sizing, log region).
+type Config = core.Config
+
+// DefaultConfig returns the paper's evaluated PiCL configuration
+// (ACS-gap 3, 2 KB undo buffer, 4096-bit bloom filter).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Schemes returns the names accepted by WithScheme: "picl" (default),
+// and the paper's baselines "ideal", "journal", "shadow", "frm",
+// "thynvm".
+func Schemes() []string { return sim.SchemeNames() }
+
+// options collects Machine construction parameters.
+type options struct {
+	scheme    string
+	cores     int
+	piclCfg   Config
+	nvmCfg    nvm.Config
+	hierarchy *cache.HierarchyConfig
+}
+
+// Option customizes New.
+type Option func(*options)
+
+// WithScheme selects the crash-consistency scheme (default "picl").
+func WithScheme(name string) Option { return func(o *options) { o.scheme = name } }
+
+// WithCores sets the core count (default 1).
+func WithCores(n int) Option { return func(o *options) { o.cores = n } }
+
+// WithConfig overrides PiCL's parameters.
+func WithConfig(c Config) Option { return func(o *options) { o.piclCfg = c } }
+
+// WithNVM overrides the NVM device model (see DefaultNVM, DRAM).
+func WithNVM(c nvm.Config) Option { return func(o *options) { o.nvmCfg = c } }
+
+// WithSmallCaches swaps in a miniature hierarchy (1 KB L1 / 8 KB L2 /
+// 32 KB-per-core LLC) so small example workloads still exercise
+// evictions and memory traffic.
+func WithSmallCaches() Option {
+	return func(o *options) {
+		h := cache.HierarchyConfig{
+			L1:  cache.Config{Name: "l1", Size: 1 << 10, Ways: 4, Latency: 1},
+			L2:  cache.Config{Name: "l2", Size: 8 << 10, Ways: 8, Latency: 4},
+			LLC: cache.Config{Name: "llc", Size: 32 << 10, Ways: 8, Latency: 30},
+		}
+		o.hierarchy = &h
+	}
+}
+
+// DefaultNVM returns the paper's NVM device model (128 ns row read,
+// 368 ns row write, 2 KB rows).
+func DefaultNVM() nvm.Config { return nvm.DefaultConfig() }
+
+// DRAM returns a conventional-DRAM device model for comparison.
+func DRAM() nvm.Config { return nvm.DRAMConfig() }
+
+// Machine is a crash-consistent simulated NVMM system: cores with a
+// cache hierarchy over nonvolatile memory, protected by the configured
+// scheme. Not safe for concurrent use.
+type Machine struct {
+	scheme  checkpoint.Scheme
+	hier    *cache.Hierarchy
+	ctl     *nvm.Controller
+	clock   uint64
+	crashed bool
+	ioQueue []pendingIO
+}
+
+// pendingIO is an outward-facing write held until its epoch persists.
+type pendingIO struct {
+	tag   string
+	epoch mem.EpochID
+}
+
+// New constructs a Machine in functional mode.
+func New(opts ...Option) (*Machine, error) {
+	o := options{scheme: "picl", cores: 1, piclCfg: core.DefaultConfig(), nvmCfg: nvm.DefaultConfig()}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.cores < 1 {
+		return nil, errors.New("picl: need at least one core")
+	}
+	ctl := nvm.NewController(o.nvmCfg)
+	scheme, err := sim.MakeScheme(o.scheme, ctl, true, o.piclCfg, baselines.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	hcfg := cache.DefaultHierarchyConfig(o.cores)
+	if o.hierarchy != nil {
+		hcfg = *o.hierarchy
+		hcfg.Cores = o.cores
+	}
+	hier := cache.NewHierarchy(hcfg, scheme, scheme)
+	scheme.Attach(hier)
+	return &Machine{scheme: scheme, hier: hier, ctl: ctl}, nil
+}
+
+func (m *Machine) checkLive() error {
+	if m.crashed {
+		return errors.New("picl: machine has crashed; Recover or build a new one")
+	}
+	return nil
+}
+
+// Write stores value into the cache line containing addr, on core 0.
+func (m *Machine) Write(addr uint64, value uint64) error {
+	return m.WriteOn(0, addr, value)
+}
+
+// WriteOn stores value on the given core.
+func (m *Machine) WriteOn(coreID int, addr uint64, value uint64) error {
+	if err := m.checkLive(); err != nil {
+		return err
+	}
+	m.clock++
+	if stall := m.hier.Store(m.clock, coreID, mem.Addr(addr).Line(), mem.Word(value)); stall > m.clock {
+		m.clock = stall
+	}
+	return nil
+}
+
+// Read returns the content of the line containing addr, on core 0.
+func (m *Machine) Read(addr uint64) (uint64, error) {
+	return m.ReadOn(0, addr)
+}
+
+// ReadOn reads on the given core.
+func (m *Machine) ReadOn(coreID int, addr uint64) (uint64, error) {
+	if err := m.checkLive(); err != nil {
+		return 0, err
+	}
+	m.clock++
+	data, done := m.hier.Load(m.clock, coreID, mem.Addr(addr).Line())
+	m.clock = done
+	return uint64(data), nil
+}
+
+// Advance moves the machine clock forward by n cycles (models compute
+// between memory operations and lets asynchronous persists drain).
+func (m *Machine) Advance(n uint64) {
+	m.clock += n
+	m.scheme.Tick(m.clock)
+}
+
+// CommitEpoch ends the current epoch. Under PiCL this is asynchronous
+// (the ACS engine persists the epoch ACS-gap commits later); under the
+// stop-the-world baselines it stalls until the flush drains.
+func (m *Machine) CommitEpoch() error {
+	if err := m.checkLive(); err != nil {
+		return err
+	}
+	if resume := m.scheme.EpochBoundary(m.clock); resume > m.clock {
+		m.clock = resume
+	}
+	m.scheme.Tick(m.clock)
+	return nil
+}
+
+// Drain blocks (advances the clock) until every outstanding NVM write is
+// durable — a clean shutdown.
+func (m *Machine) Drain() {
+	if d := m.ctl.Drain(); d > m.clock {
+		m.clock = d
+	}
+	m.clock++
+	m.scheme.Tick(m.clock)
+}
+
+// Crash cuts power now: writes still queued in the memory controller are
+// lost, caches are lost, and only NVM-durable state survives.
+func (m *Machine) Crash() {
+	m.CrashAt(m.clock)
+}
+
+// CrashAt cuts power at time t (>= the current clock progress is usual;
+// earlier values crash "mid-flight" of already-issued writes).
+func (m *Machine) CrashAt(t uint64) {
+	m.scheme.CrashAt(t)
+	m.crashed = true
+}
+
+// Sync forcefully makes every committed epoch durable before returning.
+// Under PiCL this is the bulk-ACS extension (paper §IV-C): the current
+// epoch is force-ended and one scan pass persists everything, releasing
+// any buffered I/O writes. Stop-the-world schemes simply commit and
+// drain. Returns the number of cycles the sync cost.
+func (m *Machine) Sync() (uint64, error) {
+	if err := m.checkLive(); err != nil {
+		return 0, err
+	}
+	start := m.clock
+	type forcePersister interface{ ForcePersist(now uint64) uint64 }
+	if fp, ok := m.scheme.(forcePersister); ok {
+		if resume := fp.ForcePersist(m.clock); resume > m.clock {
+			m.clock = resume
+		}
+	} else {
+		if err := m.CommitEpoch(); err != nil {
+			return 0, err
+		}
+		m.Drain()
+	}
+	return m.clock - start, nil
+}
+
+// QueueIO buffers an outward-facing I/O write issued now (paper §IV-C:
+// "I/O writes must be buffered and delayed until the epochs that these
+// I/O writes happened in have been fully persisted"). The tag is
+// returned by ReleaseIO once its epoch is durable.
+func (m *Machine) QueueIO(tag string) error {
+	if err := m.checkLive(); err != nil {
+		return err
+	}
+	m.ioQueue = append(m.ioQueue, pendingIO{tag: tag, epoch: m.scheme.SystemEID()})
+	return nil
+}
+
+// ReleaseIO returns the tags of buffered I/O writes whose epochs have
+// persisted since the last call (in issue order). Call after
+// CommitEpoch/Advance/Sync. After a crash nothing further releases:
+// whatever was still pending is gone with the power, which is precisely
+// why it was never shown to the outside world.
+func (m *Machine) ReleaseIO() []string {
+	if m.crashed {
+		return nil
+	}
+	m.scheme.Tick(m.clock)
+	return m.releaseIO()
+}
+
+func (m *Machine) releaseIO() []string {
+	persisted := m.scheme.PersistedEID()
+	var out []string
+	i := 0
+	for i < len(m.ioQueue) && m.ioQueue[i].epoch <= persisted {
+		out = append(out, m.ioQueue[i].tag)
+		i++
+	}
+	m.ioQueue = m.ioQueue[i:]
+	return out
+}
+
+// PendingIO reports how many I/O writes are still held back.
+func (m *Machine) PendingIO() int { return len(m.ioQueue) }
+
+// Image is recovered memory content.
+type Image struct{ img *mem.Image }
+
+// Read returns the recovered content of the line containing addr.
+func (im Image) Read(addr uint64) uint64 {
+	return uint64(im.img.Read(mem.Addr(addr).Line()))
+}
+
+// Lines reports how many lines hold non-zero content.
+func (im Image) Lines() int { return im.img.Len() }
+
+// Recover runs the OS crash-recovery procedure against durable state and
+// returns the consistent memory image plus the epoch it corresponds to.
+func (m *Machine) Recover() (Image, uint64, error) {
+	img, eid, err := m.scheme.Recover()
+	if err != nil {
+		return Image{}, 0, err
+	}
+	return Image{img: img}, uint64(eid), nil
+}
+
+// RecoverTo rebuilds the memory image of a specific persisted epoch —
+// point-in-time recovery over the multi-undo log. Available under the
+// "picl" scheme when Config.RetainEpochs keeps enough log history; the
+// single-checkpoint baselines cannot do this.
+func (m *Machine) RecoverTo(epoch uint64) (Image, error) {
+	type ptr interface {
+		RecoverTo(mem.EpochID) (*mem.Image, error)
+	}
+	p, ok := m.scheme.(ptr)
+	if !ok {
+		return Image{}, fmt.Errorf("picl: scheme %q has no point-in-time recovery", m.scheme.Name())
+	}
+	img, err := p.RecoverTo(mem.EpochID(epoch))
+	if err != nil {
+		return Image{}, err
+	}
+	return Image{img: img}, nil
+}
+
+// RawMemory returns the raw NVM content with no recovery applied. After
+// a crash this is what actually survived: for an unprotected system
+// ("ideal") it is generally inconsistent — the paper's §I motivation.
+func (m *Machine) RawMemory() Image {
+	type durable interface{ DurableImage() *mem.Image }
+	return Image{img: m.scheme.(durable).DurableImage()}
+}
+
+// Stats summarizes machine activity.
+type Stats struct {
+	Cycles         uint64
+	Commits        uint64
+	PersistedEpoch uint64
+	CurrentEpoch   uint64
+	NVM            nvm.Stats
+	Scheme         string
+}
+
+// Stats returns a snapshot of the machine's counters.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		Cycles:         m.clock,
+		Commits:        m.scheme.Commits(),
+		PersistedEpoch: uint64(m.scheme.PersistedEID()),
+		CurrentEpoch:   uint64(m.scheme.SystemEID()),
+		NVM:            m.ctl.Stats(),
+		Scheme:         m.scheme.Name(),
+	}
+}
+
+// String renders a short human-readable summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("scheme=%s cycles=%d commits=%d epoch=%d persisted=%d nvm[wb=%d seq=%d rand=%d reads=%d]",
+		s.Scheme, s.Cycles, s.Commits, s.CurrentEpoch, s.PersistedEpoch,
+		s.NVM.Ops(nvm.CatWriteback), s.NVM.Ops(nvm.CatSequential),
+		s.NVM.Ops(nvm.CatRandom), s.NVM.Ops(nvm.CatDemand))
+}

@@ -1,0 +1,292 @@
+package picl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m, err := New(WithSmallCaches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := m.Write(i*64, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CommitEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(64)
+	if err != nil || got != 2 {
+		t.Fatalf("Read = %d, %v; want 2", got, err)
+	}
+	st := m.Stats()
+	if st.Commits != 1 || st.CurrentEpoch != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestCrashRecoveryToPersistedEpoch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ACSGap = 1
+	m, err := New(WithSmallCaches(), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: write v1 everywhere; epoch 2: overwrite with v2.
+	for i := uint64(0); i < 50; i++ {
+		m.Write(i*64, 1000+i)
+	}
+	m.CommitEpoch()
+	for i := uint64(0); i < 50; i++ {
+		m.Write(i*64, 2000+i)
+	}
+	m.CommitEpoch() // commits epoch 2; ACS persists epoch 1
+	m.Drain()
+	m.Crash()
+	img, epoch, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1000)
+	if epoch == 2 {
+		want = 2000
+	} else if epoch != 1 {
+		t.Fatalf("recovered to epoch %d, want 1 or 2", epoch)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if got := img.Read(i * 64); got != want+i {
+			t.Fatalf("line %d: recovered %d, want %d (epoch %d)", i, got, want+i, epoch)
+		}
+	}
+	if img.Lines() != 50 {
+		t.Fatalf("recovered image has %d lines, want 50", img.Lines())
+	}
+}
+
+func TestOperationsAfterCrashRejected(t *testing.T) {
+	m, _ := New(WithSmallCaches())
+	m.Write(0, 1)
+	m.Crash()
+	if err := m.Write(64, 2); err == nil {
+		t.Fatal("write accepted after crash")
+	}
+	if _, err := m.Read(0); err == nil {
+		t.Fatal("read accepted after crash")
+	}
+	if err := m.CommitEpoch(); err == nil {
+		t.Fatal("commit accepted after crash")
+	}
+}
+
+func TestAllSchemesViaFacade(t *testing.T) {
+	for _, s := range Schemes() {
+		m, err := New(WithScheme(s), WithSmallCaches())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		m.Write(0, 7)
+		m.CommitEpoch()
+		if got, _ := m.Read(0); got != 7 {
+			t.Fatalf("%s: read = %d", s, got)
+		}
+	}
+	if _, err := New(WithScheme("bogus")); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if _, err := New(WithCores(0)); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestMultiCoreFacade(t *testing.T) {
+	m, err := New(WithCores(2), WithSmallCaches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WriteOn(0, 0, 10)
+	m.WriteOn(1, 1<<30, 20)
+	a, _ := m.ReadOn(0, 0)
+	b, _ := m.ReadOn(1, 1<<30)
+	if a != 10 || b != 20 {
+		t.Fatalf("per-core reads = %d, %d", a, b)
+	}
+}
+
+func TestLineGranularityDocumented(t *testing.T) {
+	// Two addresses in the same 64-byte line share content by design.
+	m, _ := New(WithSmallCaches())
+	m.Write(0, 5)
+	got, _ := m.Read(63)
+	if got != 5 {
+		t.Fatalf("same-line read = %d, want 5", got)
+	}
+	got, _ = m.Read(64)
+	if got == 5 {
+		t.Fatal("next line unexpectedly shares content")
+	}
+}
+
+func TestRandomizedFacadeCrashes(t *testing.T) {
+	// Facade-level property: after arbitrary traffic and a crash at an
+	// arbitrary moment, recovery succeeds and the epoch is plausible.
+	rnd := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5; trial++ {
+		cfg := DefaultConfig()
+		cfg.ACSGap = rnd.Intn(4)
+		m, err := New(WithSmallCaches(), WithConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochs := rnd.Intn(5) + 1
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < rnd.Intn(200); i++ {
+				m.Write(uint64(rnd.Intn(500))*64, rnd.Uint64()|1)
+			}
+			m.CommitEpoch()
+		}
+		m.Crash()
+		_, epoch, err := m.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch > uint64(epochs) {
+			t.Fatalf("recovered epoch %d beyond %d commits", epoch, epochs)
+		}
+	}
+}
+
+func TestSyncMakesEverythingDurable(t *testing.T) {
+	m, _ := New(WithSmallCaches()) // default ACS-gap 3: persists lag commits
+	for i := uint64(0); i < 200; i++ {
+		m.Write(i*64, i+1)
+	}
+	m.CommitEpoch()
+	if st := m.Stats(); st.PersistedEpoch != 0 {
+		t.Fatalf("persisted=%d before sync, want 0 (gap 3)", st.PersistedEpoch)
+	}
+	cycles, err := m.Sync()
+	if err != nil || cycles == 0 {
+		t.Fatalf("sync cycles=%d err=%v", cycles, err)
+	}
+	st := m.Stats()
+	if st.PersistedEpoch != st.CurrentEpoch-1 {
+		t.Fatalf("after sync persisted=%d system=%d, want fully caught up", st.PersistedEpoch, st.CurrentEpoch)
+	}
+	// Durability is real: crash now, recover to the synced epoch.
+	m.Crash()
+	img, epoch, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != st.PersistedEpoch {
+		t.Fatalf("recovered epoch %d, want %d", epoch, st.PersistedEpoch)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if img.Read(i*64) != i+1 {
+			t.Fatalf("line %d lost after sync", i)
+		}
+	}
+}
+
+func TestIOWriteBuffering(t *testing.T) {
+	m, _ := New(WithSmallCaches())
+	m.Write(0, 1)
+	m.QueueIO("packet-A")
+	if got := m.ReleaseIO(); len(got) != 0 {
+		t.Fatalf("I/O released before its epoch persisted: %v", got)
+	}
+	if m.PendingIO() != 1 {
+		t.Fatalf("PendingIO = %d", m.PendingIO())
+	}
+	// Sync force-persists; ReleaseIO then hands packet-A out exactly once.
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m.QueueIO("packet-B") // issued in the new epoch: still pending
+	got := m.ReleaseIO()
+	if len(got) != 1 || got[0] != "packet-A" {
+		t.Fatalf("ReleaseIO after sync = %v, want [packet-A]", got)
+	}
+	if m.PendingIO() != 1 {
+		t.Fatalf("PendingIO after sync = %d (packet-B pending)", m.PendingIO())
+	}
+	if got := m.ReleaseIO(); len(got) != 0 {
+		t.Fatalf("packet released twice: %v", got)
+	}
+}
+
+func TestSyncFallbackForStopTheWorldSchemes(t *testing.T) {
+	m, _ := New(WithScheme("frm"), WithSmallCaches())
+	m.Write(0, 1)
+	m.QueueIO("x")
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReleaseIO(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("frm sync did not make I/O releasable: %v", got)
+	}
+}
+
+func TestPointInTimeRecoveryFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ACSGap = 1
+	cfg.RetainEpochs = 50
+	m, _ := New(WithSmallCaches(), WithConfig(cfg))
+	for e := uint64(1); e <= 4; e++ {
+		for i := uint64(0); i < 30; i++ {
+			m.Write(i*64, e*1000+i)
+		}
+		m.CommitEpoch()
+		m.Advance(3_000_000)
+	}
+	persisted := m.Stats().PersistedEpoch
+	if persisted < 2 {
+		t.Fatalf("persisted = %d", persisted)
+	}
+	for e := uint64(1); e <= persisted; e++ {
+		img, err := m.RecoverTo(e)
+		if err != nil {
+			t.Fatalf("RecoverTo(%d): %v", e, err)
+		}
+		if got := img.Read(0); got != e*1000 {
+			t.Fatalf("epoch %d image: line 0 = %d, want %d", e, got, e*1000)
+		}
+	}
+	// Baselines refuse point-in-time recovery.
+	f, _ := New(WithScheme("frm"), WithSmallCaches())
+	if _, err := f.RecoverTo(1); err == nil {
+		t.Fatal("frm accepted RecoverTo")
+	}
+}
+
+func TestAdvanceAndDRAMOption(t *testing.T) {
+	m, err := New(WithNVM(DRAM()), WithSmallCaches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, 1)
+	before := m.Stats().Cycles
+	m.Advance(1000)
+	if m.Stats().Cycles != before+1000 {
+		t.Fatal("Advance did not move the clock")
+	}
+}
+
+func TestIONeverReleasesAfterCrash(t *testing.T) {
+	m, _ := New(WithSmallCaches())
+	m.Write(0, 1)
+	m.QueueIO("doomed")
+	m.Crash()
+	if got := m.ReleaseIO(); len(got) != 0 {
+		t.Fatalf("post-crash ReleaseIO returned %v", got)
+	}
+	if err := m.QueueIO("late"); err == nil {
+		t.Fatal("post-crash QueueIO accepted")
+	}
+}
