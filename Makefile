@@ -1,0 +1,21 @@
+.PHONY: ci vet build test race bench
+
+# ci is the tier-1 gate: vet, build everything, then the full test
+# suite under the race detector (the concurrency contract in
+# internal/sim's package doc is enforced here, not just documented).
+ci: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem

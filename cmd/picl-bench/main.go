@@ -10,7 +10,15 @@
 //	picl-bench -exp all           # everything (minutes of CPU)
 //	picl-bench -exp f9 -benches gcc,mcf,lbm
 //	picl-bench -exp f9 -factor 1  # full paper scale (hours)
+//	picl-bench -exp all -j 8      # 8 simulation workers (default: NumCPU)
 //	picl-bench -list
+//
+// The evaluation matrix is embarrassingly parallel; -j spreads the
+// (scheme, benchmark, parameter) cells across a worker pool. Table
+// output on stdout is byte-identical for every -j (results are memoized
+// per cell and tables are assembled in a deterministic replay pass);
+// progress lines (cells done, in flight, wall-clock per cell) go to
+// stderr and can be silenced with -progress=false.
 //
 // The default scale factor 64 shrinks caches, footprints, translation
 // tables and epochs by 1/64 together, preserving the ratios the results
@@ -94,6 +102,8 @@ func main() {
 		factor    = flag.Float64("factor", 64, "scale-down factor (64 = default miniature scale, 1 = full paper scale)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		verbose   = flag.Bool("v", false, "log each simulation run")
+		jobs      = flag.Int("j", 0, "simulation workers (0 = NumCPU, 1 = serial)")
+		progress  = flag.Bool("progress", true, "report per-cell progress on stderr")
 		csvDir    = flag.String("csv", "", "also write each experiment's table as <dir>/<exp>.csv")
 	)
 	flag.Parse()
@@ -123,8 +133,12 @@ func main() {
 		}
 	}
 	runner := exp.NewRunner(scale)
+	runner.Jobs = *jobs
 	if *verbose {
 		runner.Log = os.Stderr
+	}
+	if *progress {
+		runner.Progress = os.Stderr
 	}
 
 	var benches []string
@@ -179,6 +193,9 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(t0).Seconds())
+		fmt.Println()
+		// Wall-clock is nondeterministic; keep it off stdout so table
+		// output is byte-identical across runs and across -j values.
+		fmt.Fprintf(os.Stderr, "(%s completed in %.1fs)\n", e.name, time.Since(t0).Seconds())
 	}
 }

@@ -35,6 +35,7 @@ func main() {
 		record    = flag.String("record", "", "dump -bench's synthetic stream to this trace file and exit")
 		recordN   = flag.Int("n", 1_000_000, "accesses to dump with -record")
 		timeline  = flag.Bool("timeline", false, "print per-epoch statistics")
+		jobs      = flag.Int("j", 0, "simulation workers (0 = NumCPU; the scheme run and its ideal baseline parallelize)")
 		list      = flag.Bool("list", false, "list benchmarks and schemes")
 	)
 	flag.Parse()
@@ -78,6 +79,7 @@ func main() {
 		MulticoreEpochs: *epochs,
 	}
 	runner := exp.NewRunner(scale)
+	runner.Jobs = *jobs
 
 	benches := []string{*bench}
 	if *mix >= 0 {
@@ -97,6 +99,17 @@ func main() {
 		benches = []string{*traceFile}
 	case *timeline:
 		res, err = runTimeline(*scheme, benches[0], scale)
+	case *scheme != "ideal":
+		// Fetch the scheme run and its ideal baseline (used for the
+		// normalized summary below) through the worker pool together.
+		var both []*sim.Result
+		both, err = runner.RunAll([]exp.Req{
+			{Scheme: *scheme, Benches: benches},
+			{Scheme: "ideal", Benches: benches},
+		})
+		if err == nil {
+			res = both[0]
+		}
 	default:
 		res, err = runner.Run(*scheme, benches)
 	}

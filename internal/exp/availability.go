@@ -55,55 +55,68 @@ func (r *Runner) AvailabilityReport(benches []string) (*stats.Table, error) {
 		benches = SensitivityBenches()
 	}
 	const mtbf = 86400.0 // one day, the paper's assumption
-	t := stats.NewTable("§IV-C: availability and daily compute loss (MTBF = 1 day)",
-		"NormTime", "LostSec/Day", "RecoverySec", "Availability")
-	t.SetFormat("%12.5f")
 
-	for _, scheme := range append([]string{}, Schemes...) {
-		var ratios []float64
-		var recovery float64
-		for _, b := range benches {
-			ideal, err := r.Run("ideal", []string{b})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.Run(scheme, []string{b})
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+	// Model the worst-case log scan for freshly built machines over the
+	// subset (full-scale equivalent: divide by Factor). These runs are
+	// inspected post-run and not memoized, so parallelize them directly,
+	// outside the sweep (the sweep's recording pass replays its body).
+	recSec := make([]float64, len(benches))
+	err := r.forEach(len(benches), func(i int) error {
+		cfg, err := r.buildConfig("picl", []string{benches[i]})
+		if err != nil {
+			return err
 		}
-		if scheme == "picl" {
-			// Model the worst-case log scan for a freshly built machine
-			// over the subset (full-scale equivalent: divide by Factor).
+		m, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		m.Run()
+		p := m.Scheme().(*core.PiCL)
+		recSec[i] = float64(p.RecoveryEstimate()) / 2e9 / r.Scale.Factor
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var piclRecovery float64
+	for _, sec := range recSec {
+		if sec > piclRecovery {
+			piclRecovery = sec
+		}
+	}
+
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		t := stats.NewTable("§IV-C: availability and daily compute loss (MTBF = 1 day)",
+			"NormTime", "LostSec/Day", "RecoverySec", "Availability")
+		t.SetFormat("%12.5f")
+		for _, scheme := range append([]string{}, Schemes...) {
+			var ratios []float64
 			for _, b := range benches {
-				cfg, err := r.buildConfig("picl", []string{b})
+				ideal, err := run("ideal", []string{b})
 				if err != nil {
 					return nil, err
 				}
-				m, err := sim.New(cfg)
+				res, err := run(scheme, []string{b})
 				if err != nil {
 					return nil, err
 				}
-				m.Run()
-				p := m.Scheme().(*core.PiCL)
-				sec := float64(p.RecoveryEstimate()) / 2e9 / r.Scale.Factor
-				if sec > recovery {
-					recovery = sec
-				}
+				ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
 			}
-		} else {
 			// The paper cites ~62 ms worst-case recovery for undo-based
 			// high-frequency checkpointing at 10 ms periods; synchronous
-			// schemes recover from at most one epoch of log.
-			recovery = 0.062
+			// schemes recover from at most one epoch of log. PiCL pays its
+			// modeled worst-case log scan instead.
+			recovery := 0.062
+			if scheme == "picl" {
+				recovery = piclRecovery
+			}
+			norm := stats.GeoMean(ratios)
+			t.AddRow(schemeLabel[scheme],
+				norm,
+				OverheadSecondsPerDay(norm),
+				recovery,
+				Availability(recovery, mtbf))
 		}
-		norm := stats.GeoMean(ratios)
-		t.AddRow(schemeLabel[scheme],
-			norm,
-			OverheadSecondsPerDay(norm),
-			recovery,
-			Availability(recovery, mtbf))
-	}
-	return t, nil
+		return t, nil
+	})
 }

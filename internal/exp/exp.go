@@ -15,14 +15,19 @@
 //
 // A Runner memoizes (scheme, benchmark, parameter) runs so figures that
 // share data (Figs. 9, 11, 12, 13 all read the single-core matrix) pay
-// for each simulation once.
+// for each simulation once, and schedules independent cells across a
+// worker pool (Runner.Jobs): the evaluation matrix is embarrassingly
+// parallel, so the full reproduction run scales with host cores while
+// remaining byte-identical to a serial run.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"picl/internal/baselines"
 	"picl/internal/cache"
@@ -30,6 +35,7 @@ import (
 	"picl/internal/mem"
 	"picl/internal/nvm"
 	"picl/internal/sim"
+	"picl/internal/stats"
 	"picl/internal/trace"
 )
 
@@ -106,19 +112,49 @@ type RunKey struct {
 	BufEntries int
 }
 
-// Runner executes and memoizes simulations at one scale.
+// Runner executes and memoizes simulations at one scale. Run and RunAll
+// are safe for concurrent use: the memo is single-flight per RunKey, so
+// a cell shared between figures (the Fig. 9/11/12/13 single-core matrix)
+// simulates exactly once no matter how many goroutines ask for it.
 type Runner struct {
 	Scale Scale
+	// Jobs is the worker-pool width for RunAll and the sweep figures.
+	// Zero means runtime.NumCPU(); one reproduces the serial engine.
+	Jobs int
 	// Log, if non-nil, receives one line per completed simulation.
 	Log io.Writer
+	// Progress, if non-nil, receives one line per completed cell with
+	// done/total counts, cells still in flight, and per-cell wall clock.
+	// Point it at stderr: table output on stdout stays byte-identical
+	// between -j 1 and -j N.
+	Progress io.Writer
 
-	mu   sync.Mutex
-	memo map[RunKey]*sim.Result
+	mu       sync.Mutex
+	memo     map[RunKey]*flight
+	total    int // cells submitted to the pool (for progress lines)
+	done     int // cells completed
+	inflight int // cells currently simulating
+}
+
+// flight is one single-flight memo cell: the first goroutine to claim a
+// key simulates and closes ready; everyone else waits on it.
+type flight struct {
+	ready chan struct{}
+	res   *sim.Result
+	err   error
 }
 
 // NewRunner builds a runner for the given scale.
 func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, memo: make(map[RunKey]*sim.Result)}
+	return &Runner{Scale: s, memo: make(map[RunKey]*flight)}
+}
+
+// jobs resolves the effective worker count.
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.NumCPU()
 }
 
 // Opt mutates a run configuration (sensitivity sweeps).
@@ -184,12 +220,8 @@ func (r *Runner) buildConfig(scheme string, benches []string, opts ...Opt) (sim.
 	return cfg, nil
 }
 
-// Run executes (or returns the memoized result of) one run.
-func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result, error) {
-	cfg, err := r.buildConfig(scheme, benches, opts...)
-	if err != nil {
-		return nil, err
-	}
+// keyFor derives the memo key of a configured run.
+func keyFor(scheme string, benches []string, cfg *sim.Config) RunKey {
 	key := RunKey{
 		Scheme:     scheme,
 		Bench:      fmt.Sprint(benches),
@@ -203,26 +235,151 @@ func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result,
 	if cfg.NVM != nil {
 		key.NVMName = cfg.NVM.Name
 	}
-	r.mu.Lock()
-	if res, ok := r.memo[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
+	return key
+}
 
-	m, err := sim.New(cfg)
+// Run executes (or returns the memoized result of) one run. Concurrent
+// calls with the same key wait for the first one to finish rather than
+// simulating twice.
+func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result, error) {
+	cfg, err := r.buildConfig(scheme, benches, opts...)
 	if err != nil {
 		return nil, err
 	}
-	res := m.Run()
+	key := keyFor(scheme, benches, &cfg)
+
 	r.mu.Lock()
-	r.memo[key] = res
-	r.mu.Unlock()
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, "ran %-8s %-40s cycles=%d commits=%d\n",
-			scheme, key.Bench, res.Cycles, res.Commits)
+	if f, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		<-f.ready
+		return f.res, f.err
 	}
-	return res, nil
+	f := &flight{ready: make(chan struct{})}
+	r.memo[key] = f
+	r.total++
+	r.inflight++
+	r.mu.Unlock()
+
+	t0 := time.Now()
+	m, err := sim.New(cfg)
+	if err != nil {
+		f.err = err
+	} else {
+		f.res = m.Run()
+	}
+	close(f.ready)
+	r.finishCell(scheme, key.Bench, f, time.Since(t0))
+	return f.res, f.err
+}
+
+// finishCell updates the progress counters and emits reporter lines.
+func (r *Runner) finishCell(scheme, bench string, f *flight, elapsed time.Duration) {
+	r.mu.Lock()
+	r.done++
+	r.inflight--
+	done, total, inflight := r.done, r.total, r.inflight
+	r.mu.Unlock()
+	if r.Log != nil && f.err == nil {
+		fmt.Fprintf(r.Log, "ran %-8s %-40s cycles=%d commits=%d\n",
+			scheme, bench, f.res.Cycles, f.res.Commits)
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "[%d/%d] %-8s %-40s %6.2fs inflight=%d\n",
+			done, total, scheme, bench, elapsed.Seconds(), inflight)
+	}
+}
+
+// Req names one cell of the evaluation matrix for RunAll.
+type Req struct {
+	Scheme  string
+	Benches []string
+	Opts    []Opt
+}
+
+// RunAll executes every requested cell across the runner's worker pool
+// and returns the results in request order (duplicates — cells two
+// figures both need — are simulated once and share a *sim.Result). The
+// first error aborts scheduling of cells not yet started and is
+// returned; results of cells that did complete remain memoized.
+func (r *Runner) RunAll(reqs []Req) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var failed sync.Once
+	stop := make(chan struct{})
+
+	workers := r.jobs()
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				req := reqs[i]
+				results[i], errs[i] = r.Run(req.Scheme, req.Benches, req.Opts...)
+				if errs[i] != nil {
+					failed.Do(func() { close(stop) })
+				}
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// runFn is the cell-execution callback a sweep body receives; it has
+// Run's signature so figure code reads identically serial or parallel.
+type runFn func(scheme string, benches []string, opts ...Opt) (*sim.Result, error)
+
+// sweep runs build twice: a recording pass that captures every cell the
+// figure needs (handing back inert placeholder results), then — after
+// RunAll has simulated those cells across the worker pool — a replay
+// pass in which every run call is a memo hit. The replay pass assembles
+// the table serially in program order, so output is byte-identical to a
+// fully serial run regardless of Jobs.
+func (r *Runner) sweep(build func(run runFn) (*stats.Table, error)) (*stats.Table, error) {
+	var reqs []Req
+	record := func(scheme string, benches []string, opts ...Opt) (*sim.Result, error) {
+		reqs = append(reqs, Req{Scheme: scheme, Benches: benches, Opts: opts})
+		return placeholderResult(), nil
+	}
+	if _, err := build(record); err != nil {
+		return nil, err
+	}
+	if _, err := r.RunAll(reqs); err != nil {
+		return nil, err
+	}
+	return build(r.Run)
+}
+
+// placeholderResult is what the recording pass hands out: shaped like a
+// real result (non-zero denominators, non-nil counters) so figure
+// arithmetic runs harmlessly, but never rendered — the recording pass's
+// table is discarded.
+func placeholderResult() *sim.Result {
+	return &sim.Result{
+		Cycles:       1,
+		Instructions: 1,
+		Commits:      1,
+		Counters:     stats.NewCounters(),
+	}
 }
 
 // MustRun is Run for harness code where errors are programming mistakes.
@@ -232,6 +389,49 @@ func (r *Runner) MustRun(scheme string, benches []string, opts ...Opt) *sim.Resu
 		panic(err)
 	}
 	return res
+}
+
+// forEach runs fn(i) for i in [0, n) across the runner's worker pool and
+// returns the first error. It parallelizes non-memoized work (the
+// recovery-latency machines, which are built fresh each time) with the
+// same width as the sweep engine; fn must only write state it owns (its
+// index's slot of a results slice).
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	workers := r.jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SortedKeys helps tests inspect the memo deterministically.

@@ -27,55 +27,59 @@ func (r *Runner) Fig9(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = trace.Benchmarks()
 	}
-	cols := make([]string, len(Schemes))
-	for i, s := range Schemes {
-		cols[i] = schemeLabel[s]
-	}
-	t := stats.NewTable("Fig. 9: single-core execution time normalized to Ideal NVM (lower is better)", cols...)
-	for _, b := range benches {
-		ideal, err := r.Run("ideal", []string{b})
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, len(Schemes))
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		cols := make([]string, len(Schemes))
 		for i, s := range Schemes {
-			res, err := r.Run(s, []string{b})
+			cols[i] = schemeLabel[s]
+		}
+		t := stats.NewTable("Fig. 9: single-core execution time normalized to Ideal NVM (lower is better)", cols...)
+		for _, b := range benches {
+			ideal, err := run("ideal", []string{b})
 			if err != nil {
 				return nil, err
 			}
-			row[i] = float64(res.Cycles) / float64(ideal.Cycles)
+			row := make([]float64, len(Schemes))
+			for i, s := range Schemes {
+				res, err := run(s, []string{b})
+				if err != nil {
+					return nil, err
+				}
+				row[i] = float64(res.Cycles) / float64(ideal.Cycles)
+			}
+			t.AddRow(b, row...)
 		}
-		t.AddRow(b, row...)
-	}
-	t.AddGeoMeanRow()
-	return t, nil
+		t.AddGeoMeanRow()
+		return t, nil
+	})
 }
 
 // Fig10 reproduces Figure 10: eight-thread multiprogram execution time
 // for mixes W0..W7, normalized to Ideal NVM.
 func (r *Runner) Fig10() (*stats.Table, error) {
-	cols := make([]string, len(Schemes))
-	for i, s := range Schemes {
-		cols[i] = schemeLabel[s]
-	}
-	t := stats.NewTable("Fig. 10: 8-core multiprogram execution time normalized to Ideal NVM (lower is better)", cols...)
-	for w, mix := range trace.Mixes() {
-		ideal, err := r.Run("ideal", mix)
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, len(Schemes))
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		cols := make([]string, len(Schemes))
 		for i, s := range Schemes {
-			res, err := r.Run(s, mix)
+			cols[i] = schemeLabel[s]
+		}
+		t := stats.NewTable("Fig. 10: 8-core multiprogram execution time normalized to Ideal NVM (lower is better)", cols...)
+		for w, mix := range trace.Mixes() {
+			ideal, err := run("ideal", mix)
 			if err != nil {
 				return nil, err
 			}
-			row[i] = float64(res.Cycles) / float64(ideal.Cycles)
+			row := make([]float64, len(Schemes))
+			for i, s := range Schemes {
+				res, err := run(s, mix)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = float64(res.Cycles) / float64(ideal.Cycles)
+			}
+			t.AddRow(fmt.Sprintf("W%d", w), row...)
 		}
-		t.AddRow(fmt.Sprintf("W%d", w), row...)
-	}
-	t.AddGeoMeanRow()
-	return t, nil
+		t.AddGeoMeanRow()
+		return t, nil
+	})
 }
 
 // Fig11 reproduces Figure 11: average number of commits per epoch
@@ -85,24 +89,26 @@ func (r *Runner) Fig11(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = trace.Benchmarks()
 	}
-	schemes := []string{"journal", "shadow", "picl"}
-	cols := []string{"Journaling", "Shadow", "PiCL"}
-	t := stats.NewTable("Fig. 11: commits per epoch interval (nominal 1, lower is better)", cols...)
-	t.SetFormat("%10.1f")
-	for _, b := range benches {
-		row := make([]float64, len(schemes))
-		for i, s := range schemes {
-			res, err := r.Run(s, []string{b})
-			if err != nil {
-				return nil, err
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		schemes := []string{"journal", "shadow", "picl"}
+		cols := []string{"Journaling", "Shadow", "PiCL"}
+		t := stats.NewTable("Fig. 11: commits per epoch interval (nominal 1, lower is better)", cols...)
+		t.SetFormat("%10.1f")
+		for _, b := range benches {
+			row := make([]float64, len(schemes))
+			for i, s := range schemes {
+				res, err := run(s, []string{b})
+				if err != nil {
+					return nil, err
+				}
+				nominal := float64(res.Instructions) / float64(r.Scale.EpochInstr)
+				row[i] = float64(res.Commits) / nominal
 			}
-			nominal := float64(res.Instructions) / float64(r.Scale.EpochInstr)
-			row[i] = float64(res.Commits) / nominal
+			t.AddRow(b, row...)
 		}
-		t.AddRow(b, row...)
-	}
-	t.AddGeoMeanRow()
-	return t, nil
+		t.AddGeoMeanRow()
+		return t, nil
+	})
 }
 
 // Fig12 reproduces Figure 12: NVM I/O operations normalized to Ideal
@@ -114,35 +120,37 @@ func (r *Runner) Fig12(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = trace.Fig12Benchmarks()
 	}
-	t := stats.NewTable("Fig. 12: NVM I/O operations normalized to Ideal write-backs",
-		"Sequential", "Random", "Writeback", "Total")
-	order := []string{"ideal", "journal", "shadow", "frm", "thynvm", "picl"}
-	for _, b := range benches {
-		ideal, err := r.Run("ideal", []string{b})
-		if err != nil {
-			return nil, err
-		}
-		base := ideal.NVM.Ops(nvm.CatWriteback)
-		for _, s := range order {
-			res, err := r.Run(s, []string{b})
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		t := stats.NewTable("Fig. 12: NVM I/O operations normalized to Ideal write-backs",
+			"Sequential", "Random", "Writeback", "Total")
+		order := []string{"ideal", "journal", "shadow", "frm", "thynvm", "picl"}
+		for _, b := range benches {
+			ideal, err := run("ideal", []string{b})
 			if err != nil {
 				return nil, err
 			}
-			seq := res.NormalizedIOPS(nvm.CatSequential, base)
-			rnd := res.NormalizedIOPS(nvm.CatRandom, base)
-			wb := res.NormalizedIOPS(nvm.CatWriteback, base)
-			if s == "picl" && base > 0 {
-				// The paper's PiCL "Random" component is the in-place
-				// write count done by ACS; our device model charges those
-				// as write-backs, so move them between categories here.
-				acs := float64(res.Counters.Get("acs_writebacks")) / float64(base)
-				rnd += acs
-				wb -= acs
+			base := ideal.NVM.Ops(nvm.CatWriteback)
+			for _, s := range order {
+				res, err := run(s, []string{b})
+				if err != nil {
+					return nil, err
+				}
+				seq := res.NormalizedIOPS(nvm.CatSequential, base)
+				rnd := res.NormalizedIOPS(nvm.CatRandom, base)
+				wb := res.NormalizedIOPS(nvm.CatWriteback, base)
+				if s == "picl" && base > 0 {
+					// The paper's PiCL "Random" component is the in-place
+					// write count done by ACS; our device model charges those
+					// as write-backs, so move them between categories here.
+					acs := float64(res.Counters.Get("acs_writebacks")) / float64(base)
+					rnd += acs
+					wb -= acs
+				}
+				t.AddRow(fmt.Sprintf("%s/%s", b, schemeLabel[s]), seq, rnd, wb, seq+rnd+wb)
 			}
-			t.AddRow(fmt.Sprintf("%s/%s", b, schemeLabel[s]), seq, rnd, wb, seq+rnd+wb)
 		}
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // Fig13 reproduces Figure 13: PiCL undo log size over eight epochs, in MB
@@ -152,18 +160,20 @@ func (r *Runner) Fig13(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = trace.Benchmarks()
 	}
-	t := stats.NewTable("Fig. 13: PiCL undo log size for 8 epochs (MB)", "LogMB", "FullScaleEqMB")
-	t.SetFormat("%10.2f")
-	for _, b := range benches {
-		res, err := r.Run("picl", []string{b})
-		if err != nil {
-			return nil, err
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		t := stats.NewTable("Fig. 13: PiCL undo log size for 8 epochs (MB)", "LogMB", "FullScaleEqMB")
+		t.SetFormat("%10.2f")
+		for _, b := range benches {
+			res, err := run("picl", []string{b})
+			if err != nil {
+				return nil, err
+			}
+			mb := float64(res.LogTotalBytes) / (1 << 20)
+			t.AddRow(b, mb, mb/r.Scale.Factor)
 		}
-		mb := float64(res.LogTotalBytes) / (1 << 20)
-		t.AddRow(b, mb, mb/r.Scale.Factor)
-	}
-	t.AddMeanRow()
-	return t, nil
+		t.AddMeanRow()
+		return t, nil
+	})
 }
 
 // Fig14 reproduces Figure 14: observed epoch length (instructions per
@@ -174,28 +184,30 @@ func (r *Runner) Fig14(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = trace.Benchmarks()
 	}
-	longEpoch := uint64(float64(500_000_000) * r.Scale.Factor)
-	schemes := []string{"journal", "shadow", "picl"}
-	t := stats.NewTable("Fig. 14: observed epoch length at 500M-instruction target (full-scale-equivalent M instr, higher is better)",
-		"Journaling", "Shadow", "PiCL")
-	for _, b := range benches {
-		row := make([]float64, len(schemes))
-		for i, s := range schemes {
-			res, err := r.Run(s, []string{b}, WithEpochInstr(longEpoch), WithEpochs(2))
-			if err != nil {
-				return nil, err
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		longEpoch := uint64(float64(500_000_000) * r.Scale.Factor)
+		schemes := []string{"journal", "shadow", "picl"}
+		t := stats.NewTable("Fig. 14: observed epoch length at 500M-instruction target (full-scale-equivalent M instr, higher is better)",
+			"Journaling", "Shadow", "PiCL")
+		for _, b := range benches {
+			row := make([]float64, len(schemes))
+			for i, s := range schemes {
+				res, err := run(s, []string{b}, WithEpochInstr(longEpoch), WithEpochs(2))
+				if err != nil {
+					return nil, err
+				}
+				commits := res.Commits
+				if commits == 0 {
+					commits = 1
+				}
+				perCommit := float64(res.Instructions) / float64(commits)
+				row[i] = perCommit / r.Scale.Factor / 1e6
 			}
-			commits := res.Commits
-			if commits == 0 {
-				commits = 1
-			}
-			perCommit := float64(res.Instructions) / float64(commits)
-			row[i] = perCommit / r.Scale.Factor / 1e6
+			t.AddRow(b, row...)
 		}
-		t.AddRow(b, row...)
-	}
-	t.AddGeoMeanRow()
-	return t, nil
+		t.AddGeoMeanRow()
+		return t, nil
+	})
 }
 
 // Fig15 reproduces Figure 15 (cache-size sensitivity): GMean normalized
@@ -206,34 +218,36 @@ func (r *Runner) Fig15(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	cols := make([]string, len(Schemes))
-	for i, s := range Schemes {
-		cols[i] = schemeLabel[s]
-	}
-	t := stats.NewTable("Fig. 15: GMean normalized execution time vs LLC size (lower is better)", cols...)
-	for _, mb := range []int{2, 4, 8, 16, 32} {
-		size := int(float64(mb<<20) * r.Scale.Factor)
-		ratios := make([][]float64, len(Schemes))
-		for _, b := range benches {
-			ideal, err := r.Run("ideal", []string{b}, WithLLCSize(size))
-			if err != nil {
-				return nil, err
-			}
-			for i, s := range Schemes {
-				res, err := r.Run(s, []string{b}, WithLLCSize(size))
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		cols := make([]string, len(Schemes))
+		for i, s := range Schemes {
+			cols[i] = schemeLabel[s]
+		}
+		t := stats.NewTable("Fig. 15: GMean normalized execution time vs LLC size (lower is better)", cols...)
+		for _, mb := range []int{2, 4, 8, 16, 32} {
+			size := int(float64(mb<<20) * r.Scale.Factor)
+			ratios := make([][]float64, len(Schemes))
+			for _, b := range benches {
+				ideal, err := run("ideal", []string{b}, WithLLCSize(size))
 				if err != nil {
 					return nil, err
 				}
-				ratios[i] = append(ratios[i], float64(res.Cycles)/float64(ideal.Cycles))
+				for i, s := range Schemes {
+					res, err := run(s, []string{b}, WithLLCSize(size))
+					if err != nil {
+						return nil, err
+					}
+					ratios[i] = append(ratios[i], float64(res.Cycles)/float64(ideal.Cycles))
+				}
 			}
+			row := make([]float64, len(Schemes))
+			for i := range Schemes {
+				row[i] = stats.GeoMean(ratios[i])
+			}
+			t.AddRow(fmt.Sprintf("LLC %dMB", mb), row...)
 		}
-		row := make([]float64, len(Schemes))
-		for i := range Schemes {
-			row[i] = stats.GeoMean(ratios[i])
-		}
-		t.AddRow(fmt.Sprintf("LLC %dMB", mb), row...)
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // Fig16 reproduces the §VI-E NVM write-latency sensitivity (the figure is
@@ -243,34 +257,36 @@ func (r *Runner) Fig16(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	cols := make([]string, len(Schemes))
-	for i, s := range Schemes {
-		cols[i] = schemeLabel[s]
-	}
-	t := stats.NewTable("Fig. 16: GMean normalized execution time vs NVM row-write latency (lower is better)", cols...)
-	for _, tenths := range []int{10, 20, 30, 40} {
-		dev := nvm.ScaledWriteConfig(tenths)
-		ratios := make([][]float64, len(Schemes))
-		for _, b := range benches {
-			ideal, err := r.Run("ideal", []string{b}, WithNVM(dev))
-			if err != nil {
-				return nil, err
-			}
-			for i, s := range Schemes {
-				res, err := r.Run(s, []string{b}, WithNVM(dev))
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		cols := make([]string, len(Schemes))
+		for i, s := range Schemes {
+			cols[i] = schemeLabel[s]
+		}
+		t := stats.NewTable("Fig. 16: GMean normalized execution time vs NVM row-write latency (lower is better)", cols...)
+		for _, tenths := range []int{10, 20, 30, 40} {
+			dev := nvm.ScaledWriteConfig(tenths)
+			ratios := make([][]float64, len(Schemes))
+			for _, b := range benches {
+				ideal, err := run("ideal", []string{b}, WithNVM(dev))
 				if err != nil {
 					return nil, err
 				}
-				ratios[i] = append(ratios[i], float64(res.Cycles)/float64(ideal.Cycles))
+				for i, s := range Schemes {
+					res, err := run(s, []string{b}, WithNVM(dev))
+					if err != nil {
+						return nil, err
+					}
+					ratios[i] = append(ratios[i], float64(res.Cycles)/float64(ideal.Cycles))
+				}
 			}
+			row := make([]float64, len(Schemes))
+			for i := range Schemes {
+				row[i] = stats.GeoMean(ratios[i])
+			}
+			t.AddRow(fmt.Sprintf("write %.1fx", float64(tenths)/10), row...)
 		}
-		row := make([]float64, len(Schemes))
-		for i := range Schemes {
-			row[i] = stats.GeoMean(ratios[i])
-		}
-		t.AddRow(fmt.Sprintf("write %.1fx", float64(tenths)/10), row...)
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // SensitivityBenches is the subset used by the sweep figures: two
@@ -286,26 +302,28 @@ func (r *Runner) AblationACSGap(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	t := stats.NewTable("Ablation: PiCL ACS-gap", "NormTime", "PersistLagEpochs")
-	for _, gap := range []int{0, 1, 2, 3, 5, 8} {
-		cfg := core.DefaultConfig()
-		cfg.ACSGap = gap
-		var ratios, lags []float64
-		for _, b := range benches {
-			ideal, err := r.Run("ideal", []string{b})
-			if err != nil {
-				return nil, err
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		t := stats.NewTable("Ablation: PiCL ACS-gap", "NormTime", "PersistLagEpochs")
+		for _, gap := range []int{0, 1, 2, 3, 5, 8} {
+			cfg := core.DefaultConfig()
+			cfg.ACSGap = gap
+			var ratios, lags []float64
+			for _, b := range benches {
+				ideal, err := run("ideal", []string{b})
+				if err != nil {
+					return nil, err
+				}
+				res, err := run("picl", []string{b}, WithPiCL(cfg))
+				if err != nil {
+					return nil, err
+				}
+				ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+				lags = append(lags, float64(gap))
 			}
-			res, err := r.Run("picl", []string{b}, WithPiCL(cfg))
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
-			lags = append(lags, float64(gap))
+			t.AddRow(fmt.Sprintf("gap=%d", gap), stats.GeoMean(ratios), stats.Mean(lags))
 		}
-		t.AddRow(fmt.Sprintf("gap=%d", gap), stats.GeoMean(ratios), stats.Mean(lags))
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // AblationUndoBuffer sweeps the on-chip undo buffer size (paper §III-B
@@ -314,29 +332,31 @@ func (r *Runner) AblationUndoBuffer(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	t := stats.NewTable("Ablation: PiCL undo buffer entries", "NormTime", "SeqWrites", "RandWrites")
-	for _, entries := range []int{4, 8, 16, 28, 56, 112} {
-		cfg := core.DefaultConfig()
-		cfg.BufferEntries = entries
-		var ratios []float64
-		var seq, rnd uint64
-		for _, b := range benches {
-			ideal, err := r.Run("ideal", []string{b})
-			if err != nil {
-				return nil, err
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		t := stats.NewTable("Ablation: PiCL undo buffer entries", "NormTime", "SeqWrites", "RandWrites")
+		for _, entries := range []int{4, 8, 16, 28, 56, 112} {
+			cfg := core.DefaultConfig()
+			cfg.BufferEntries = entries
+			var ratios []float64
+			var seq, rnd uint64
+			for _, b := range benches {
+				ideal, err := run("ideal", []string{b})
+				if err != nil {
+					return nil, err
+				}
+				res, err := run("picl", []string{b}, WithPiCL(cfg))
+				if err != nil {
+					return nil, err
+				}
+				ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+				seq += res.NVM.Ops(nvm.CatSequential)
+				rnd += res.NVM.Ops(nvm.CatRandom)
 			}
-			res, err := r.Run("picl", []string{b}, WithPiCL(cfg))
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
-			seq += res.NVM.Ops(nvm.CatSequential)
-			rnd += res.NVM.Ops(nvm.CatRandom)
+			t.AddRow(fmt.Sprintf("entries=%d", entries),
+				stats.GeoMean(ratios), float64(seq), float64(rnd))
 		}
-		t.AddRow(fmt.Sprintf("entries=%d", entries),
-			stats.GeoMean(ratios), float64(seq), float64(rnd))
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // AblationEpochLength sweeps the checkpoint interval (paper §VI-D: PiCL
@@ -345,32 +365,34 @@ func (r *Runner) AblationEpochLength(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	schemes := []string{"journal", "frm", "picl"}
-	t := stats.NewTable("Ablation: epoch length (full-scale-equivalent M instr)", "Journaling", "FRM", "PiCL")
-	for _, fullM := range []uint64{3, 10, 30, 100, 300} {
-		epoch := uint64(float64(fullM*1_000_000) * r.Scale.Factor)
-		if epoch == 0 {
-			epoch = 1
-		}
-		row := make([]float64, len(schemes))
-		for i, s := range schemes {
-			var ratios []float64
-			for _, b := range benches {
-				ideal, err := r.Run("ideal", []string{b}, WithEpochInstr(epoch), WithEpochs(4))
-				if err != nil {
-					return nil, err
-				}
-				res, err := r.Run(s, []string{b}, WithEpochInstr(epoch), WithEpochs(4))
-				if err != nil {
-					return nil, err
-				}
-				ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		schemes := []string{"journal", "frm", "picl"}
+		t := stats.NewTable("Ablation: epoch length (full-scale-equivalent M instr)", "Journaling", "FRM", "PiCL")
+		for _, fullM := range []uint64{3, 10, 30, 100, 300} {
+			epoch := uint64(float64(fullM*1_000_000) * r.Scale.Factor)
+			if epoch == 0 {
+				epoch = 1
 			}
-			row[i] = stats.GeoMean(ratios)
+			row := make([]float64, len(schemes))
+			for i, s := range schemes {
+				var ratios []float64
+				for _, b := range benches {
+					ideal, err := run("ideal", []string{b}, WithEpochInstr(epoch), WithEpochs(4))
+					if err != nil {
+						return nil, err
+					}
+					res, err := run(s, []string{b}, WithEpochInstr(epoch), WithEpochs(4))
+					if err != nil {
+						return nil, err
+					}
+					ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+				}
+				row[i] = stats.GeoMean(ratios)
+			}
+			t.AddRow(fmt.Sprintf("%dM", fullM), row...)
 		}
-		t.AddRow(fmt.Sprintf("%dM", fullM), row...)
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // AblationDRAMCache evaluates the §IV-C DRAM-buffer extension: a
@@ -383,44 +405,46 @@ func (r *Runner) AblationDRAMCache(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	cols := append([]string{}, "FRM", "PiCL", "HitRate")
-	t := stats.NewTable("Ablation: write-through DRAM memory-side cache (§IV-C)", cols...)
-	for _, pages := range []int{0, 64, 256, 1024} {
-		dev := nvm.DefaultConfig()
-		if pages > 0 {
-			// Pages are pre-scaled: the runner's factor shrinks footprints,
-			// so shrink the cache coverage identically.
-			scaled := int(float64(pages*64) * r.Scale.Factor)
-			if scaled < 8 {
-				scaled = 8
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		cols := append([]string{}, "FRM", "PiCL", "HitRate")
+		t := stats.NewTable("Ablation: write-through DRAM memory-side cache (§IV-C)", cols...)
+		for _, pages := range []int{0, 64, 256, 1024} {
+			dev := nvm.DefaultConfig()
+			if pages > 0 {
+				// Pages are pre-scaled: the runner's factor shrinks footprints,
+				// so shrink the cache coverage identically.
+				scaled := int(float64(pages*64) * r.Scale.Factor)
+				if scaled < 8 {
+					scaled = 8
+				}
+				dev = dev.WithDRAMCache(scaled)
 			}
-			dev = dev.WithDRAMCache(scaled)
+			var frmR, piclR, hits []float64
+			for _, b := range benches {
+				ideal, err := run("ideal", []string{b}, WithNVM(dev))
+				if err != nil {
+					return nil, err
+				}
+				frm, err := run("frm", []string{b}, WithNVM(dev))
+				if err != nil {
+					return nil, err
+				}
+				picl, err := run("picl", []string{b}, WithNVM(dev))
+				if err != nil {
+					return nil, err
+				}
+				frmR = append(frmR, float64(frm.Cycles)/float64(ideal.Cycles))
+				piclR = append(piclR, float64(picl.Cycles)/float64(ideal.Cycles))
+				reads := picl.NVM.Count[nvm.OpDemandRead]
+				if reads > 0 {
+					hits = append(hits, float64(picl.NVM.DRAMHits)/float64(reads))
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d pages(full)", pages*64),
+				stats.GeoMean(frmR), stats.GeoMean(piclR), stats.Mean(hits))
 		}
-		var frmR, piclR, hits []float64
-		for _, b := range benches {
-			ideal, err := r.Run("ideal", []string{b}, WithNVM(dev))
-			if err != nil {
-				return nil, err
-			}
-			frm, err := r.Run("frm", []string{b}, WithNVM(dev))
-			if err != nil {
-				return nil, err
-			}
-			picl, err := r.Run("picl", []string{b}, WithNVM(dev))
-			if err != nil {
-				return nil, err
-			}
-			frmR = append(frmR, float64(frm.Cycles)/float64(ideal.Cycles))
-			piclR = append(piclR, float64(picl.Cycles)/float64(ideal.Cycles))
-			reads := picl.NVM.Count[nvm.OpDemandRead]
-			if reads > 0 {
-				hits = append(hits, float64(picl.NVM.DRAMHits)/float64(reads))
-			}
-		}
-		t.AddRow(fmt.Sprintf("%d pages(full)", pages*64),
-			stats.GeoMean(frmR), stats.GeoMean(piclR), stats.Mean(hits))
-	}
-	return t, nil
+		return t, nil
+	})
 }
 
 // AblationController compares memory-controller designs: the paper's
@@ -432,45 +456,47 @@ func (r *Runner) AblationController(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	configs := []struct {
-		name string
-		dev  nvm.Config
-	}{
-		{"fcfs-1bank", nvm.DefaultConfig()},
-		{"fcfs-8banks", func() nvm.Config {
-			c := nvm.DefaultConfig()
-			c.Name, c.Banks = "nvm-8b", 8
-			return c
-		}()},
-		{"rdprio-8banks", func() nvm.Config {
-			c := nvm.DefaultConfig()
-			c.Name, c.Banks, c.ReadPriority = "nvm-8b-rp", 8, true
-			return c
-		}()},
-	}
-	t := stats.NewTable("Ablation: memory controller design (normalized execution time)",
-		"Journaling", "FRM", "PiCL")
-	schemes := []string{"journal", "frm", "picl"}
-	for _, cfg := range configs {
-		row := make([]float64, len(schemes))
-		for i, s := range schemes {
-			var ratios []float64
-			for _, b := range benches {
-				ideal, err := r.Run("ideal", []string{b}, WithNVM(cfg.dev))
-				if err != nil {
-					return nil, err
-				}
-				res, err := r.Run(s, []string{b}, WithNVM(cfg.dev))
-				if err != nil {
-					return nil, err
-				}
-				ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
-			}
-			row[i] = stats.GeoMean(ratios)
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		configs := []struct {
+			name string
+			dev  nvm.Config
+		}{
+			{"fcfs-1bank", nvm.DefaultConfig()},
+			{"fcfs-8banks", func() nvm.Config {
+				c := nvm.DefaultConfig()
+				c.Name, c.Banks = "nvm-8b", 8
+				return c
+			}()},
+			{"rdprio-8banks", func() nvm.Config {
+				c := nvm.DefaultConfig()
+				c.Name, c.Banks, c.ReadPriority = "nvm-8b-rp", 8, true
+				return c
+			}()},
 		}
-		t.AddRow(cfg.name, row...)
-	}
-	return t, nil
+		t := stats.NewTable("Ablation: memory controller design (normalized execution time)",
+			"Journaling", "FRM", "PiCL")
+		schemes := []string{"journal", "frm", "picl"}
+		for _, cfg := range configs {
+			row := make([]float64, len(schemes))
+			for i, s := range schemes {
+				var ratios []float64
+				for _, b := range benches {
+					ideal, err := run("ideal", []string{b}, WithNVM(cfg.dev))
+					if err != nil {
+						return nil, err
+					}
+					res, err := run(s, []string{b}, WithNVM(cfg.dev))
+					if err != nil {
+						return nil, err
+					}
+					ratios = append(ratios, float64(res.Cycles)/float64(ideal.Cycles))
+				}
+				row[i] = stats.GeoMean(ratios)
+			}
+			t.AddRow(cfg.name, row...)
+		}
+		return t, nil
+	})
 }
 
 // RecoveryLatency reproduces the §IV-C recovery-latency discussion: log
@@ -479,22 +505,33 @@ func (r *Runner) RecoveryLatency(benches []string) (*stats.Table, error) {
 	if benches == nil {
 		benches = SensitivityBenches()
 	}
-	t := stats.NewTable("Recovery latency model (PiCL)", "LiveLogMB", "RecoveryMs")
-	for _, b := range benches {
-		cfg, err := r.buildConfig("picl", []string{b})
+	// These machines are inspected post-run (live log bytes), so they are
+	// built fresh rather than memoized; parallelize them directly.
+	type rowVals struct{ liveMB, recoveryMs float64 }
+	rows := make([]rowVals, len(benches))
+	err := r.forEach(len(benches), func(i int) error {
+		cfg, err := r.buildConfig("picl", []string{benches[i]})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Run()
 		p := m.Scheme().(*core.PiCL)
-		cycles := p.RecoveryEstimate()
-		t.AddRow(b,
-			float64(p.Log().LiveBytes())/(1<<20),
-			float64(cycles)/float64(nvm.CyclesPerNS)/1e6)
+		rows[i] = rowVals{
+			liveMB:     float64(p.Log().LiveBytes()) / (1 << 20),
+			recoveryMs: float64(p.RecoveryEstimate()) / float64(nvm.CyclesPerNS) / 1e6,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Recovery latency model (PiCL)", "LiveLogMB", "RecoveryMs")
+	for i, b := range benches {
+		t.AddRow(b, rows[i].liveMB, rows[i].recoveryMs)
 	}
 	return t, nil
 }

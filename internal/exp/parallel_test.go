@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParallelByteIdentical is the tentpole determinism guarantee: the
+// rendered tables of a -j 8 runner match a -j 1 runner byte for byte.
+func TestParallelByteIdentical(t *testing.T) {
+	render := func(jobs int) string {
+		r := NewRunner(testScale())
+		r.Jobs = jobs
+		var out strings.Builder
+		for _, build := range []func() (interface{ String() string }, error){
+			func() (interface{ String() string }, error) { return r.Fig9(testBenches) },
+			func() (interface{ String() string }, error) { return r.Fig11(testBenches) },
+			func() (interface{ String() string }, error) { return r.Fig12([]string{"gcc"}) },
+			func() (interface{ String() string }, error) { return r.AvailabilityReport([]string{"gcc"}) },
+		} {
+			tb, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.WriteString(tb.String())
+		}
+		return out.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("output differs between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestSingleFlight: many goroutines asking for one cell simulate it once.
+func TestSingleFlight(t *testing.T) {
+	r := NewRunner(testScale())
+	var log lockedBuffer
+	r.Log = &log
+
+	const callers = 16
+	results := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run("picl", []string{"gcc"})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers saw different result objects")
+		}
+	}
+	if n := strings.Count(log.String(), "ran "); n != 1 {
+		t.Fatalf("cell simulated %d times, want 1:\n%s", n, log.String())
+	}
+	if len(r.SortedKeys()) != 1 {
+		t.Fatalf("memo has %d entries, want 1", len(r.SortedKeys()))
+	}
+}
+
+// TestRunAllOrderAndDedup: results come back in request order and
+// duplicate cells share one *sim.Result.
+func TestRunAllOrderAndDedup(t *testing.T) {
+	r := NewRunner(testScale())
+	r.Jobs = 4
+	reqs := []Req{
+		{Scheme: "ideal", Benches: []string{"gcc"}},
+		{Scheme: "picl", Benches: []string{"gcc"}},
+		{Scheme: "ideal", Benches: []string{"gcc"}}, // duplicate of [0]
+		{Scheme: "journal", Benches: []string{"gcc"}},
+	}
+	res, err := r.RunAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(reqs) {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0] != res[2] {
+		t.Fatal("duplicate request did not share the memoized result")
+	}
+	wantScheme := []string{"ideal", "picl", "ideal", "journal"}
+	for i, w := range wantScheme {
+		if res[i].Scheme != w {
+			t.Fatalf("result %d: scheme %q, want %q", i, res[i].Scheme, w)
+		}
+	}
+	if len(r.SortedKeys()) != 3 {
+		t.Fatalf("memo has %d entries, want 3 distinct cells", len(r.SortedKeys()))
+	}
+}
+
+// TestRunAllPropagatesError: a bad cell fails the batch; good cells that
+// ran stay memoized.
+func TestRunAllPropagatesError(t *testing.T) {
+	r := NewRunner(testScale())
+	_, err := r.RunAll([]Req{
+		{Scheme: "ideal", Benches: []string{"gcc"}},
+		{Scheme: "picl", Benches: []string{"nonesuch"}},
+	})
+	if err == nil {
+		t.Fatal("unknown benchmark accepted by RunAll")
+	}
+}
+
+// TestProgressReporter: completed cells emit done/total/in-flight lines
+// with per-cell wall clock on the progress writer.
+func TestProgressReporter(t *testing.T) {
+	r := NewRunner(testScale())
+	r.Jobs = 2
+	var buf lockedBuffer
+	r.Progress = &buf
+	if _, err := r.RunAll([]Req{
+		{Scheme: "ideal", Benches: []string{"gcc"}},
+		{Scheme: "picl", Benches: []string{"gcc"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	pat := regexp.MustCompile(`^\[\d/2\] \S+\s+\S+\s+\d+\.\d\ds inflight=\d$`)
+	for _, l := range lines {
+		if !pat.MatchString(l) {
+			t.Fatalf("malformed progress line %q", l)
+		}
+	}
+	if !strings.Contains(buf.String(), "[2/2]") {
+		t.Fatalf("final line lacks done=total:\n%s", buf.String())
+	}
+}
+
+// lockedBuffer is a goroutine-safe bytes.Buffer for reporter writers
+// (cells complete on pool workers).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

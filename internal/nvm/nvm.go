@@ -70,7 +70,22 @@ const (
 	CatWriteback
 	CatRandom
 	CatSequential
+	numCategories
 )
+
+var categoryNames = [numCategories]string{"demand", "writeback", "random", "sequential"}
+
+func (c Category) String() string {
+	if c < 0 || c >= numCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Categories lists every Fig. 12 accounting category.
+func Categories() []Category {
+	return []Category{CatDemand, CatWriteback, CatRandom, CatSequential}
+}
 
 // Category returns the Fig. 12 category of the operation.
 func (o Op) Category() Category {

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestIndependentMachinesRace enforces the package concurrency contract
+// under -race: distinct Machines — every scheme, including functional
+// crash injection — run concurrently without touching shared state, and
+// each produces the identical result it produces serially.
+func TestIndependentMachinesRace(t *testing.T) {
+	// Serial reference results, one per scheme.
+	want := map[string]*Result{}
+	for _, scheme := range SchemeNames() {
+		m, err := New(tinyConfig(scheme, 1, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[scheme] = m.Run()
+	}
+
+	var wg sync.WaitGroup
+	for _, scheme := range SchemeNames() {
+		for copyN := 0; copyN < 2; copyN++ {
+			wg.Add(1)
+			go func(scheme string) {
+				defer wg.Done()
+				m, err := New(tinyConfig(scheme, 1, false))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r := m.Run()
+				w := want[scheme]
+				if r.Cycles != w.Cycles || r.Commits != w.Commits ||
+					r.NVM.Count != w.NVM.Count {
+					t.Errorf("%s: concurrent run diverged from serial (cycles %d vs %d, commits %d vs %d)",
+						scheme, r.Cycles, w.Cycles, r.Commits, w.Commits)
+				}
+			}(scheme)
+		}
+	}
+	wg.Wait()
+}
+
+// TestConcurrentFunctionalCrashRecovery runs two functional machines with
+// crash injection on separate goroutines — the golden-image machinery is
+// per-machine too.
+func TestConcurrentFunctionalCrashRecovery(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := New(tinyConfig("picl", 1, true))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.RunUntil(func(_ uint64, instr uint64) bool { return instr >= 150_000 })
+			if _, err := m.CrashAndRecover(m.Now()); err != nil {
+				t.Errorf("machine %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -9,6 +9,18 @@
 // frozen at an arbitrary instant, the scheme recovers from its durable
 // state, and the result is compared bit-exactly against the golden image
 // of the epoch the scheme claims to have restored.
+//
+// # Concurrency contract
+//
+// A Machine owns every piece of mutable state it touches — its scheme,
+// cache hierarchy, NVM controller, trace generators, and reference
+// images are all constructed by New and never shared. One Machine is
+// strictly single-threaded (deterministic replay is the point), but any
+// number of independent Machines may run concurrently: the packages
+// underneath (cache, nvm, core, baselines, trace, undolog) keep no
+// package-level mutable state. internal/exp relies on this to sweep the
+// evaluation matrix across a worker pool; the -race test in this package
+// enforces it.
 package sim
 
 import (
@@ -135,7 +147,9 @@ type coreState struct {
 	seq   uint64
 }
 
-// Machine is one configured simulation instance.
+// Machine is one configured simulation instance. A Machine is not safe
+// for concurrent use, but distinct Machines are fully independent and
+// may run on separate goroutines (see the package concurrency contract).
 type Machine struct {
 	cfg    Config
 	scheme checkpoint.Scheme

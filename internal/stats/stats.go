@@ -11,47 +11,89 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Counters is a named bag of monotonically increasing uint64 metrics.
+// All methods are safe for concurrent use: a simulation's scheme writes
+// its own bag from one goroutine while the experiment harness reads
+// completed bags from worker threads (internal/exp runs the evaluation
+// matrix across a pool), so the bag carries its own lock rather than
+// relying on callers to serialize.
 type Counters struct {
-	m map[string]uint64
+	mu sync.Mutex
+	m  map[string]uint64
 }
 
 // NewCounters returns an empty counter bag.
 func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
 
 // Add increments counter name by delta.
-func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
+func (c *Counters) Add(name string, delta uint64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
 
 // Set overwrites counter name.
-func (c *Counters) Set(name string, v uint64) { c.m[name] = v }
+func (c *Counters) Set(name string, v uint64) {
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
 
 // Get returns counter name (zero if never touched).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
 
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
 	out := make([]string, 0, len(c.m))
 	for k := range c.m {
 		out = append(out, k)
 	}
+	c.mu.Unlock()
 	sort.Strings(out)
 	return out
 }
 
-// Merge adds every counter of other into c.
+// Snapshot returns a point-in-time copy of the bag's contents.
+func (c *Counters) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter of other into c. It snapshots other first, so
+// merging two bags never holds both locks (no ordering to deadlock on).
 func (c *Counters) Merge(other *Counters) {
-	for k, v := range other.m {
+	snap := other.Snapshot()
+	c.mu.Lock()
+	for k, v := range snap {
 		c.m[k] += v
 	}
+	c.mu.Unlock()
 }
 
 // String renders the counters one per line, sorted by name.
 func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
 	var b strings.Builder
-	for _, k := range c.Names() {
-		fmt.Fprintf(&b, "%-28s %d\n", k, c.m[k])
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", k, snap[k])
 	}
 	return b.String()
 }

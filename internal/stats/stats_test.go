@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -136,5 +137,47 @@ func TestTableCSV(t *testing.T) {
 	want := "label,A,B\nr1,1.5,2\nshort,3,\n"
 	if csv != want {
 		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	// Writers, readers and mergers race on the same bags; run under
+	// -race this enforces the bag's locking discipline.
+	src := NewCounters()
+	dst := NewCounters()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				src.Add("ops", 1)
+				src.Set("gauge", uint64(i))
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			dst.Merge(src)
+			_ = src.Get("ops")
+			_ = src.Names()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = src.String()
+			_ = src.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := src.Get("ops"); got != 4000 {
+		t.Fatalf("ops = %d, want 4000", got)
+	}
+	dst.Merge(src) // a post-quiescence merge lands the final totals
+	if got := dst.Get("ops"); got < 4000 {
+		t.Fatalf("merged ops = %d, want >= 4000", got)
 	}
 }

@@ -30,6 +30,7 @@
 package picl
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -40,6 +41,23 @@ import (
 	"picl/internal/mem"
 	"picl/internal/nvm"
 	"picl/internal/sim"
+)
+
+// Sentinel errors returned (wrapped, with context) by the facade; assert
+// them with errors.Is. They are part of the public API so concurrent
+// harnesses on top can branch on failure kind instead of matching error
+// strings.
+var (
+	// ErrCrashed reports an operation on a machine whose power was cut;
+	// Recover the durable state or build a new Machine.
+	ErrCrashed = errors.New("picl: machine has crashed")
+	// ErrNeedCore reports a construction with fewer than one core.
+	ErrNeedCore = errors.New("picl: need at least one core")
+	// ErrNoPointInTime reports RecoverTo on a scheme without multi-epoch
+	// log history (every single-checkpoint baseline).
+	ErrNoPointInTime = errors.New("picl: scheme has no point-in-time recovery")
+	// ErrBadHierarchy reports an invalid WithHierarchy geometry.
+	ErrBadHierarchy = errors.New("picl: invalid cache hierarchy geometry")
 )
 
 // Config re-exports PiCL's hardware parameters (ACS gap, undo buffer
@@ -62,6 +80,7 @@ type options struct {
 	piclCfg   Config
 	nvmCfg    nvm.Config
 	hierarchy *cache.HierarchyConfig
+	geometry  *[3]LevelGeometry // retained for New's validation
 }
 
 // Option customizes New.
@@ -79,18 +98,55 @@ func WithConfig(c Config) Option { return func(o *options) { o.piclCfg = c } }
 // WithNVM overrides the NVM device model (see DefaultNVM, DRAM).
 func WithNVM(c nvm.Config) Option { return func(o *options) { o.nvmCfg = c } }
 
+// LevelGeometry describes one cache level for WithHierarchy. SizeBytes
+// is the level's capacity (per core for the private L1/L2, total shared
+// capacity for the LLC); Ways is the set associativity; LatencyCycles is
+// the lookup latency.
+type LevelGeometry struct {
+	SizeBytes     int
+	Ways          int
+	LatencyCycles uint64
+}
+
+// valid reports whether the geometry builds a legal cache: positive size
+// and ways, at least one 64 B line per way, and a power-of-two set count
+// (the index function is a mask).
+func (g LevelGeometry) valid() bool {
+	if g.SizeBytes <= 0 || g.Ways <= 0 {
+		return false
+	}
+	sets := g.SizeBytes / mem.LineSize / g.Ways
+	if sets == 0 {
+		sets = 1
+	}
+	return sets&(sets-1) == 0
+}
+
+// WithHierarchy replaces the default Table IV cache hierarchy with an
+// arbitrary three-level geometry. New reports ErrBadHierarchy if any
+// level is degenerate (non-positive size or ways, or a set count that is
+// not a power of two).
+func WithHierarchy(l1, l2, llc LevelGeometry) Option {
+	return func(o *options) {
+		o.hierarchy = &cache.HierarchyConfig{
+			L1:  cache.Config{Name: "l1", Size: l1.SizeBytes, Ways: l1.Ways, Latency: l1.LatencyCycles},
+			L2:  cache.Config{Name: "l2", Size: l2.SizeBytes, Ways: l2.Ways, Latency: l2.LatencyCycles},
+			LLC: cache.Config{Name: "llc", Size: llc.SizeBytes, Ways: llc.Ways, Latency: llc.LatencyCycles},
+		}
+		o.geometry = &[3]LevelGeometry{l1, l2, llc}
+	}
+}
+
 // WithSmallCaches swaps in a miniature hierarchy (1 KB L1 / 8 KB L2 /
 // 32 KB-per-core LLC) so small example workloads still exercise
-// evictions and memory traffic.
+// evictions and memory traffic. It is WithHierarchy with a canned
+// geometry.
 func WithSmallCaches() Option {
-	return func(o *options) {
-		h := cache.HierarchyConfig{
-			L1:  cache.Config{Name: "l1", Size: 1 << 10, Ways: 4, Latency: 1},
-			L2:  cache.Config{Name: "l2", Size: 8 << 10, Ways: 8, Latency: 4},
-			LLC: cache.Config{Name: "llc", Size: 32 << 10, Ways: 8, Latency: 30},
-		}
-		o.hierarchy = &h
-	}
+	return WithHierarchy(
+		LevelGeometry{SizeBytes: 1 << 10, Ways: 4, LatencyCycles: 1},
+		LevelGeometry{SizeBytes: 8 << 10, Ways: 8, LatencyCycles: 4},
+		LevelGeometry{SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 30},
+	)
 }
 
 // DefaultNVM returns the paper's NVM device model (128 ns row read,
@@ -102,7 +158,9 @@ func DRAM() nvm.Config { return nvm.DRAMConfig() }
 
 // Machine is a crash-consistent simulated NVMM system: cores with a
 // cache hierarchy over nonvolatile memory, protected by the configured
-// scheme. Not safe for concurrent use.
+// scheme. A Machine is not safe for concurrent use, but distinct
+// Machines share no mutable state and may run on separate goroutines
+// (the experiment harness sweeps many at once).
 type Machine struct {
 	scheme  checkpoint.Scheme
 	hier    *cache.Hierarchy
@@ -125,7 +183,14 @@ func New(opts ...Option) (*Machine, error) {
 		f(&o)
 	}
 	if o.cores < 1 {
-		return nil, errors.New("picl: need at least one core")
+		return nil, fmt.Errorf("%w (got %d)", ErrNeedCore, o.cores)
+	}
+	if o.geometry != nil {
+		for i, level := range o.geometry {
+			if !level.valid() {
+				return nil, fmt.Errorf("%w: level %d (%+v)", ErrBadHierarchy, i+1, level)
+			}
+		}
 	}
 	ctl := nvm.NewController(o.nvmCfg)
 	scheme, err := sim.MakeScheme(o.scheme, ctl, true, o.piclCfg, baselines.DefaultParams())
@@ -144,7 +209,7 @@ func New(opts ...Option) (*Machine, error) {
 
 func (m *Machine) checkLive() error {
 	if m.crashed {
-		return errors.New("picl: machine has crashed; Recover or build a new one")
+		return fmt.Errorf("%w; Recover or build a new one", ErrCrashed)
 	}
 	return nil
 }
@@ -155,6 +220,13 @@ func (m *Machine) Write(addr uint64, value uint64) error {
 }
 
 // WriteOn stores value on the given core.
+//
+// Clock semantics (shared with ReadOn): the machine clock advances by the
+// operation's one issue cycle, then clamps forward — never backward — to
+// the operation's completion or stall time. A store's completion is its
+// backpressure stall (stores are buffered and otherwise free); a load's
+// is the hierarchy/memory latency. Both paths use the same monotone
+// max-clamp, so interleaving reads and writes can never rewind time.
 func (m *Machine) WriteOn(coreID int, addr uint64, value uint64) error {
 	if err := m.checkLive(); err != nil {
 		return err
@@ -171,14 +243,18 @@ func (m *Machine) Read(addr uint64) (uint64, error) {
 	return m.ReadOn(0, addr)
 }
 
-// ReadOn reads on the given core.
+// ReadOn reads on the given core. The clock clamps forward to the load's
+// completion time exactly as WriteOn clamps to its stall time (see
+// WriteOn for the shared monotone-clock contract).
 func (m *Machine) ReadOn(coreID int, addr uint64) (uint64, error) {
 	if err := m.checkLive(); err != nil {
 		return 0, err
 	}
 	m.clock++
 	data, done := m.hier.Load(m.clock, coreID, mem.Addr(addr).Line())
-	m.clock = done
+	if done > m.clock {
+		m.clock = done
+	}
 	return uint64(data), nil
 }
 
@@ -321,7 +397,7 @@ func (m *Machine) RecoverTo(epoch uint64) (Image, error) {
 	}
 	p, ok := m.scheme.(ptr)
 	if !ok {
-		return Image{}, fmt.Errorf("picl: scheme %q has no point-in-time recovery", m.scheme.Name())
+		return Image{}, fmt.Errorf("%w: scheme %q", ErrNoPointInTime, m.scheme.Name())
 	}
 	img, err := p.RecoverTo(mem.EpochID(epoch))
 	if err != nil {
@@ -366,4 +442,42 @@ func (s Stats) String() string {
 		s.Scheme, s.Cycles, s.Commits, s.CurrentEpoch, s.PersistedEpoch,
 		s.NVM.Ops(nvm.CatWriteback), s.NVM.Ops(nvm.CatSequential),
 		s.NVM.Ops(nvm.CatRandom), s.NVM.Ops(nvm.CatDemand))
+}
+
+// nvmCategoryJSON is one Fig. 12 accounting category in Stats JSON.
+type nvmCategoryJSON struct {
+	Ops   uint64 `json:"ops"`
+	Bytes uint64 `json:"bytes"`
+}
+
+// MarshalJSON renders the snapshot for external harnesses, with the NVM
+// traffic broken down per Fig. 12 category (demand / writeback / random
+// / sequential ops and bytes) so consumers need no knowledge of the
+// internal operation taxonomy.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	cats := make(map[string]nvmCategoryJSON, 4)
+	for _, c := range nvm.Categories() {
+		cats[c.String()] = nvmCategoryJSON{Ops: s.NVM.Ops(c), Bytes: s.NVM.TotalBytes(c)}
+	}
+	return json.Marshal(struct {
+		Scheme         string                     `json:"scheme"`
+		Cycles         uint64                     `json:"cycles"`
+		Commits        uint64                     `json:"commits"`
+		CurrentEpoch   uint64                     `json:"current_epoch"`
+		PersistedEpoch uint64                     `json:"persisted_epoch"`
+		NVM            map[string]nvmCategoryJSON `json:"nvm"`
+		BusyCycles     uint64                     `json:"nvm_busy_cycles"`
+		RowActivations uint64                     `json:"nvm_row_activations"`
+		StallEvents    uint64                     `json:"nvm_stall_events"`
+	}{
+		Scheme:         s.Scheme,
+		Cycles:         s.Cycles,
+		Commits:        s.Commits,
+		CurrentEpoch:   s.CurrentEpoch,
+		PersistedEpoch: s.PersistedEpoch,
+		NVM:            cats,
+		BusyCycles:     s.NVM.BusyCycles,
+		RowActivations: s.NVM.RowActivations,
+		StallEvents:    s.NVM.StallEvents,
+	})
 }
