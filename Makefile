@@ -1,12 +1,20 @@
-.PHONY: ci vet build test race bench
+.PHONY: ci vet lint build test race bench
 
-# ci is the tier-1 gate: vet, build everything, then the full test
-# suite under the race detector (the concurrency contract in
-# internal/sim's package doc is enforced here, not just documented).
-ci: vet build race
+# ci is the tier-1 gate: vet, the project-specific invariant linter,
+# build everything, then the full test suite under the race detector
+# (the concurrency contract in internal/sim's package doc is enforced
+# here, not just documented). picl-lint exits nonzero on any
+# unsuppressed diagnostic, so a determinism/epoch/lock violation fails
+# the build exactly like a vet error.
+ci: vet lint build race
 
 vet:
 	go vet ./...
+
+# lint runs picl-lint (see internal/lint and DESIGN.md "Static
+# analysis") over every non-test package in the module.
+lint:
+	go run ./cmd/picl-lint ./...
 
 build:
 	go build ./...

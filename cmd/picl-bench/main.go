@@ -120,6 +120,7 @@ func main() {
 	}
 
 	scale := exp.Scaled()
+	//lint:ignore floateq exact test of the literal the user typed on the flag, not computed timing
 	if *factor != 64 {
 		scale = exp.Scale{
 			Name:            fmt.Sprintf("scaled-1/%g", *factor),
@@ -128,11 +129,13 @@ func main() {
 			Epochs:          8,
 			MulticoreEpochs: 4,
 		}
+		//lint:ignore floateq exact test of the literal the user typed on the flag, not computed timing
 		if *factor == 1 {
 			scale = exp.Full()
 		}
 	}
 	runner := exp.NewRunner(scale)
+	runner.Clock = time.Now // injected: internal/exp itself must stay wall-clock-free
 	runner.Jobs = *jobs
 	if *verbose {
 		runner.Log = os.Stderr

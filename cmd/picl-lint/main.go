@@ -1,0 +1,64 @@
+// picl-lint checks the PiCL-specific invariants the Go compiler and
+// `go vet` cannot see: simulator determinism, 4-bit epoch-tag
+// arithmetic, stats lock discipline, sentinel error wrapping, and
+// floating-point timing equality. It exits 1 when any unsuppressed
+// diagnostic is found (this is what fails the `make ci` gate) and 2 on
+// operational errors such as packages that do not type-check.
+//
+// Usage:
+//
+//	picl-lint [packages]   # defaults to ./...
+//	picl-lint -rules       # list the rule set
+//
+// Findings are suppressed with a justified comment on the offending
+// line or the line directly above:
+//
+//	//lint:ignore <rule>[,<rule>] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"picl/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "print the rule set and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: picl-lint [-rules] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "picl-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "picl-lint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "picl-lint: %d unsuppressed diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -111,7 +111,7 @@ func (f *FRM) EpochBoundary(now uint64) uint64 {
 	// point are expired and garbage-collected.
 	live := f.entries[:0]
 	for _, e := range f.entries {
-		if e.ValidTill > f.Persisted {
+		if e.ValidTill.After(f.Persisted) {
 			live = append(live, e)
 		}
 	}

@@ -199,14 +199,14 @@ func (p *PiCL) EpochBoundary(now uint64) uint64 {
 	committed := p.System
 	p.System++
 
-	if committed > mem.EpochID(p.cfg.ACSGap) {
-		p.runACS(now, committed-mem.EpochID(p.cfg.ACSGap))
+	if committed.After(mem.EpochID(p.cfg.ACSGap)) {
+		p.runACS(now, committed.Minus(uint64(p.cfg.ACSGap)))
 	}
 
 	// Hardware EID tags are TagBits wide; the live range
 	// [PersistedEID, SystemEID] must stay narrower than the tag space.
 	resume := now
-	for p.System-p.Persisted >= mem.TagMask && len(p.pending) > 0 {
+	for p.System.Gap(p.Persisted) >= mem.TagMask && len(p.pending) > 0 {
 		resume = p.pending[0].done
 		p.Tick(resume)
 		p.C.Add("tag_space_stalls", 1)
@@ -222,14 +222,14 @@ func (p *PiCL) EpochBoundary(now uint64) uint64 {
 // and write back every dirty line with EID <= target, then write the
 // persist marker. When the marker's write completes, target is durable.
 func (p *PiCL) runACS(now uint64, target mem.EpochID) {
-	if target <= p.Persisted && p.durableMarker >= target {
+	if target.AtMost(p.Persisted) && p.durableMarker.AtLeast(target) {
 		return
 	}
 	p.C.Add("acs_runs", 1)
 	p.flushBuffer(now)
 
 	lines := p.Hier.FlushDirty(func(_ mem.LineAddr, eid mem.EpochID) bool {
-		return eid <= target
+		return eid.AtMost(target)
 	})
 	for _, dl := range lines {
 		p.PersistLineWrite(now, nvm.OpWriteback, dl.Addr, dl.Data)
@@ -279,13 +279,7 @@ func (p *PiCL) Tick(now uint64) {
 	for len(p.pending) > 0 && p.pending[0].done <= now {
 		p.Persisted = p.pending[0].target
 		p.pending = p.pending[1:]
-		floor := p.Persisted
-		if retain := mem.EpochID(p.cfg.RetainEpochs); floor > retain {
-			floor -= retain
-		} else {
-			floor = 0
-		}
-		p.log.GC(floor)
+		p.log.GC(p.Persisted.Minus(uint64(p.cfg.RetainEpochs)))
 	}
 	p.Settle(now)
 }
@@ -314,16 +308,11 @@ func (p *PiCL) RecoverTo(epoch mem.EpochID) (*mem.Image, error) {
 	if !p.Functional {
 		return nil, errors.New("picl: recovery requires functional mode")
 	}
-	if epoch > p.durableMarker {
+	if epoch.After(p.durableMarker) {
 		return nil, fmt.Errorf("picl: epoch %d not yet persisted (marker %d)", epoch, p.durableMarker)
 	}
-	floor := p.durableMarker
-	if retain := mem.EpochID(p.cfg.RetainEpochs); floor > retain {
-		floor -= retain
-	} else {
-		floor = 0
-	}
-	if epoch < floor {
+	floor := p.durableMarker.Minus(uint64(p.cfg.RetainEpochs))
+	if epoch.Before(floor) {
 		return nil, fmt.Errorf("picl: epoch %d garbage-collected (retained floor %d)", epoch, floor)
 	}
 	img := p.Cur.Clone()

@@ -128,6 +128,12 @@ type Runner struct {
 	// Point it at stderr: table output on stdout stays byte-identical
 	// between -j 1 and -j N.
 	Progress io.Writer
+	// Clock supplies wall-clock readings for the per-cell timing shown on
+	// Progress lines. It is nil by default — this package must not read
+	// the host clock itself (the picl-lint determinism rule enforces
+	// that), so binaries that want timed progress inject time.Now here.
+	// With a nil Clock, elapsed times report as zero.
+	Clock func() time.Time
 
 	mu       sync.Mutex
 	memo     map[RunKey]*flight
@@ -260,7 +266,10 @@ func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result,
 	r.inflight++
 	r.mu.Unlock()
 
-	t0 := time.Now()
+	var t0 time.Time
+	if r.Clock != nil {
+		t0 = r.Clock()
+	}
 	m, err := sim.New(cfg)
 	if err != nil {
 		f.err = err
@@ -268,7 +277,11 @@ func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result,
 		f.res = m.Run()
 	}
 	close(f.ready)
-	r.finishCell(scheme, key.Bench, f, time.Since(t0))
+	var elapsed time.Duration
+	if r.Clock != nil {
+		elapsed = r.Clock().Sub(t0)
+	}
+	r.finishCell(scheme, key.Bench, f, elapsed)
 	return f.res, f.err
 }
 

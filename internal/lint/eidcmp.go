@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EIDCmp quarantines raw epoch arithmetic. Full EpochIDs happen to be
+// monotone uint64s today, so `eid1 < eid2` compiles and even works — but
+// the hardware stores TagBits-wide truncations, and the moment a tag
+// leaks into a comparison the ordering silently inverts across the 15→0
+// rollover (see TestTagBoundaryTable). Routing every ordering and
+// subtraction through internal/mem's helpers (Before/AtMost/After/
+// AtLeast/Gap/Minus, ResolveTag for tags) keeps the proof obligation in
+// one audited file.
+var EIDCmp = &Analyzer{
+	Name: "eidcmp",
+	Doc:  "forbid raw ordering comparison or subtraction of epoch-typed values outside internal/mem",
+	Run:  runEIDCmp,
+}
+
+func isEpochTyped(t types.Type) bool {
+	return isNamed(t, modulePath+"/internal/mem", "EpochID") ||
+		isNamed(t, modulePath+"/internal/mem", "EpochTag")
+}
+
+const eidHint = "use the mem.EpochID helpers (Before/AtMost/After/AtLeast/Gap/Minus) — raw ordering inverts on tag wraparound"
+
+func runEIDCmp(pass *Pass) {
+	if pass.Pkg.Path == modulePath+"/internal/mem" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.SUB:
+					if isEpochTyped(pass.TypeOf(n.X)) || isEpochTyped(pass.TypeOf(n.Y)) {
+						pass.Reportf(n.OpPos, "raw %s on an epoch-typed value; %s", n.Op, eidHint)
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.SUB_ASSIGN && len(n.Lhs) == 1 && isEpochTyped(pass.TypeOf(n.Lhs[0])) {
+					pass.Reportf(n.TokPos, "raw -= on an epoch-typed value; %s", eidHint)
+				}
+			case *ast.IncDecStmt:
+				if n.Tok == token.DEC && isEpochTyped(pass.TypeOf(n.X)) {
+					pass.Reportf(n.TokPos, "raw -- on an epoch-typed value; %s", eidHint)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap keeps the facade's error contract honest. PR-1 introduced
+// package-level sentinels (picl.ErrCrashed, picl.ErrNeedCore, ...) whose
+// documented contract is errors.Is matching. That contract breaks in two
+// quiet ways: comparing a returned error to a sentinel with == (fails on
+// any wrapped error) and re-wrapping a sentinel through fmt.Errorf
+// without %w (strips the chain so errors.Is stops matching downstream).
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "module error sentinels must be wrapped with %w and matched with errors.Is, never == or bare fmt.Errorf",
+	Run:  runErrWrap,
+}
+
+// sentinelOperand resolves e to a module sentinel object, or nil.
+func sentinelOperand(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil && moduleSentinel(obj) {
+		return obj
+	}
+	return nil
+}
+
+func runErrWrap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				obj := sentinelOperand(info, n.X)
+				if obj == nil {
+					obj = sentinelOperand(info, n.Y)
+				}
+				if obj != nil {
+					pass.Reportf(n.OpPos,
+						"%s against sentinel %s misses wrapped errors; use errors.Is", n.Op, obj.Name())
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" ||
+					fn.Name() != "Errorf" || len(n.Args) < 2 {
+					return true
+				}
+				var sentinel types.Object
+				for _, arg := range n.Args[1:] {
+					if obj := sentinelOperand(info, arg); obj != nil {
+						sentinel = obj
+					}
+				}
+				if sentinel == nil {
+					return true
+				}
+				lit, ok := ast.Unparen(n.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if format, err := strconv.Unquote(lit.Value); err == nil && !strings.Contains(format, "%w") {
+					pass.Reportf(n.Pos(),
+						"fmt.Errorf carries sentinel %s without %%w, so errors.Is cannot match the result", sentinel.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq bans exact equality on floating-point values module-wide. The
+// timing model accumulates float nanoseconds across millions of events;
+// two accumulation orders that are mathematically equal are almost never
+// bitwise equal, so an == either works by accident or becomes the
+// nondeterminism bug the determinism rule exists to prevent.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= between floating-point values; compare with an epsilon or carry integer time units",
+	Run:  runFloatEq,
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypeOf(be.X)) || isFloat(pass.TypeOf(be.Y)) {
+				pass.Reportf(be.OpPos,
+					"%s on floating-point values is representation-fragile; compare against an epsilon or use integer time units", be.Op)
+			}
+			return true
+		})
+	}
+}

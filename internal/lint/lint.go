@@ -1,0 +1,226 @@
+// Package lint is picl-lint's engine: a stdlib-only static-analysis
+// framework over go/parser, go/ast and go/types (no golang.org/x/tools)
+// that checks the PiCL-specific invariants the Go compiler cannot see —
+// simulator determinism, 4-bit epoch-tag arithmetic, stats lock
+// discipline, sentinel error wrapping, and float timing equality. The
+// ROADMAP's tier-1 gate runs `go vet` and `go test -race`, but race
+// detection is dynamic and probabilistic; the epoch/ordering bug class
+// that persistence logic produces (silent tag wraparound, map-order
+// nondeterminism leaking into "byte-identical" output) is exactly the
+// class a static pass catches at CI time.
+//
+// The engine loads every non-test package of the module (see load.go),
+// runs each Analyzer over each package, and filters diagnostics through
+// `//lint:ignore <rule> <reason>` suppression comments placed on the
+// offending line or the line directly above it. cmd/picl-lint exits
+// nonzero on any unsuppressed diagnostic, which is what makes the
+// `make ci` gate fail builds.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("picl/internal/sim"); scope-restricted
+	// analyzers key off it.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the rule name used in output and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for `picl-lint -rules`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves the type of an expression (nil if untracked).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// All returns the standard analyzer set in documentation order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, EIDCmp, LockDiscipline, ErrWrap, FloatEq}
+}
+
+// ignoreKey locates a suppression: one rule on one line of one file.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// IgnorePrefix introduces a suppression comment:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed at the end of the offending line or on the line directly above
+// it. The reason is mandatory — an ignore without one is itself a
+// diagnostic (rule "ignore"), so suppressions stay auditable.
+const IgnorePrefix = "lint:ignore"
+
+// collectIgnores scans a package's comments for suppression directives.
+// Malformed directives are reported as diagnostics via report.
+func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, IgnorePrefix))
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Pos:  pos,
+						Rule: "ignore",
+						Message: fmt.Sprintf(
+							"malformed suppression: want //%s <rule> <reason>", IgnorePrefix),
+					})
+					continue
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					ignores[ignoreKey{file: pos.Filename, line: pos.Line, rule: rule}] = true
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// Run applies the analyzers to every package, drops suppressed findings,
+// and returns the rest sorted by position then rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg, func(d Diagnostic) { diags = append(diags, d) })
+		suppressed := func(d Diagnostic) bool {
+			return ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+				ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+				if !suppressed(d) {
+					diags = append(diags, d)
+				}
+			}}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// isNamed reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves a call's target to its *types.Func (nil for
+// builtins, conversions, and indirect calls through variables).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// moduleSentinel reports whether obj is a package-level error variable
+// named Err* declared in this module — the PR-1 facade sentinels
+// (picl.ErrCrashed and friends) and any future ones.
+func moduleSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	path := v.Pkg().Path()
+	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	iface, ok := v.Type().Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error"
+}
+
+// modulePath is the module all analyzers treat as "ours".
+const modulePath = "picl"

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline statically enforces the convention the repo's mutex
+// users (stats.Counters, exp.Runner) follow dynamically: a struct field
+// declared after a `mu sync.Mutex`/`sync.RWMutex` field is guarded by
+// that mutex, and may only be touched from methods of the owning struct
+// that actually lock mu (or whose name ends in "Locked", marking the
+// caller as the lock holder). go test -race can only catch the schedules
+// it happens to run; this rule catches the access path itself.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "fields declared after a mu mutex field may only be accessed by methods of the owning struct that lock mu",
+	Run:  runLockDiscipline,
+}
+
+func isMutex(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+func runLockDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect guarded field objects, keyed to their owning struct.
+	guarded := map[types.Object]string{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			afterMu := false
+			for _, field := range st.Fields.List {
+				if afterMu {
+					for _, name := range field.Names {
+						if obj := info.Defs[name]; obj != nil {
+							guarded[obj] = ts.Name.Name
+						}
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "mu" && isMutex(info.TypeOf(field.Type)) {
+						afterMu = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: every selector that resolves to a guarded field must sit in
+	// a lock-holding method of the owner. Composite literals construct the
+	// value before it is shared and use keyed idents, not selectors, so
+	// they are exempt by construction.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, isMethod := decl.(*ast.FuncDecl)
+			var recvType string
+			locks := false
+			if isMethod && fd.Recv != nil && len(fd.Recv.List) == 1 {
+				recvType = recvTypeName(fd.Recv.List[0].Type)
+				locks = bodyLocksMu(fd) || strings.HasSuffix(fd.Name.Name, "Locked")
+			} else {
+				isMethod = false
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				owner, ok := guarded[s.Obj()]
+				if !ok {
+					return true
+				}
+				switch {
+				case !isMethod || recvType != owner:
+					pass.Reportf(sel.Sel.Pos(),
+						"field %s.%s is guarded by %s.mu; access it only through %s's methods", owner, s.Obj().Name(), owner, owner)
+				case !locks:
+					pass.Reportf(sel.Sel.Pos(),
+						"method %s.%s touches mu-guarded field %s without locking mu (suffix the method name with Locked if the caller must hold it)", owner, fd.Name.Name, s.Obj().Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// recvTypeName unwraps a method receiver type expression to its base
+// type name.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// bodyLocksMu reports whether the function body contains a
+// `<something>.mu.Lock()` or `.mu.RLock()` call.
+func bodyLocksMu(fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

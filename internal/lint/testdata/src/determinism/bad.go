@@ -1,0 +1,61 @@
+// Package dtest exercises the determinism analyzer: wall clocks, PRNG
+// imports, and order-sensitive map iteration, plus the allowed patterns
+// (commutative bodies, collect-then-sort) and suppression paths.
+package dtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func prng() int { return rand.Int() }
+
+func orderSensitive(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // collected but never sorted: order leaks to the caller
+}
+
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func commutative(m map[string]uint64) (sum uint64) {
+	n := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		sum += v
+		n++
+		seen[k] = true
+		if v == 0 {
+			delete(seen, k)
+		}
+	}
+	_ = n
+	return sum
+}
+
+func suppressed() time.Time {
+	//lint:ignore determinism helper is only linked into test binaries
+	return time.Now()
+}
+
+func malformed(m map[string]int) {
+	//lint:ignore determinism
+	for range m {
+		panic("boom")
+	}
+}

@@ -1,0 +1,34 @@
+// Package etest exercises the eidcmp analyzer: every raw ordering and
+// subtraction form on epoch-typed values, the allowed equality and
+// helper forms, and suppression.
+package etest
+
+import "picl/internal/mem"
+
+func bad(a, b mem.EpochID) {
+	_ = a < b
+	_ = a <= b
+	_ = a > b
+	_ = a >= b
+	_ = a - b
+	a -= 2
+	b--
+	_ = a
+	_ = b
+}
+
+func tags(t, u mem.EpochTag) bool { return t < u }
+
+func good(a, b mem.EpochID) {
+	_ = a == b
+	_ = a != b
+	a++
+	_ = a.Before(b)
+	_ = a.Gap(b)
+	_ = uint64(a) < uint64(b) // escape hatch: the widening is explicit and visible
+}
+
+func suppressed(a, b mem.EpochID) bool {
+	//lint:ignore eidcmp caller proves both operands are full resolved EIDs
+	return a < b
+}

@@ -1,0 +1,30 @@
+// Package wtest exercises the errwrap analyzer with its own
+// module-local sentinel (any package-level Err* error var inside the
+// picl module tree counts).
+package wtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrSeed = errors.New("seed failure")
+
+var errLocal = errors.New("unexported, not a sentinel")
+
+func compare(err error) bool { return err == ErrSeed }
+
+func compareNeq(err error) bool { return err != ErrSeed }
+
+func wrapBad() error { return fmt.Errorf("op: %v", ErrSeed) }
+
+func wrapGood() error { return fmt.Errorf("op: %w", ErrSeed) }
+
+func localOK(err error) bool { return err == errLocal }
+
+func isOK(err error) bool { return errors.Is(err, ErrSeed) }
+
+func suppressed(err error) bool {
+	//lint:ignore errwrap identity check against the unwrapped sentinel is the point of this test
+	return err == ErrSeed
+}

@@ -1,0 +1,23 @@
+// Package ftest exercises the floateq analyzer: equality on float
+// basics and float-underlying named types is flagged; integer equality
+// and float ordering are not.
+package ftest
+
+type cycles float64
+
+func eq(a, b float64) bool { return a == b }
+
+func neq(a, b float32) bool { return a != b }
+
+func named(a, b cycles) bool { return a == b }
+
+func zero(x float64) bool { return x == 0 }
+
+func ints(a, b int) bool { return a == b }
+
+func lt(a, b float64) bool { return a < b }
+
+func suppressed(x float64) bool {
+	//lint:ignore floateq zero test on an accumulator no arithmetic has touched yet
+	return x == 0
+}

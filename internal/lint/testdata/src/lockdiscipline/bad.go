@@ -1,0 +1,37 @@
+// Package ltest exercises the lockdiscipline analyzer: fields after a
+// mu mutex field are guarded; methods must lock, Locked-suffix methods
+// assert the caller holds mu, non-methods may not touch guarded fields.
+package ltest
+
+import "sync"
+
+type box struct {
+	label string // declared before mu: unguarded
+	mu    sync.Mutex
+	n     int
+	m     map[string]int
+}
+
+func newBox() *box {
+	return &box{m: make(map[string]int)} // composite literal: construction
+}
+
+func (b *box) Add(k string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[k]++
+	b.n++
+}
+
+func (b *box) bad() int { return b.n }
+
+func (b *box) sizeLocked() int { return len(b.m) }
+
+func (b *box) Label() string { return b.label }
+
+func peek(b *box) int { return b.n }
+
+func suppressed(b *box) int {
+	//lint:ignore lockdiscipline single-threaded test helper, no concurrent writers exist
+	return b.n
+}

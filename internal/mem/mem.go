@@ -88,6 +88,50 @@ func ResolveTag(t EpochTag, system EpochID) EpochID {
 	return system - EpochID(delta)
 }
 
+// Epoch ordering and arithmetic helpers. Full EpochIDs are monotone
+// uint64s, so the operations below are plain integer ops — but they are
+// the ONLY place raw EID comparison and subtraction are allowed: every
+// other package must route epoch ordering through these helpers (the
+// picl-lint eidcmp rule enforces it). Centralizing the arithmetic keeps
+// the 4-bit hardware truncation from leaking: a tag observed in a cache
+// array must pass through ResolveTag before it may meet a full EID, and
+// a raw `<` on a tag-width value silently inverts across the 15→0
+// rollover. NoEpoch is all-ones and therefore sorts after every real
+// epoch, which is exactly the "never flushed by an ACS pass over real
+// epochs" behavior the cache scan relies on.
+
+// Before reports whether e is strictly older than o.
+func (e EpochID) Before(o EpochID) bool { return e < o }
+
+// AtMost reports whether e is no newer than o (e <= o).
+func (e EpochID) AtMost(o EpochID) bool { return e <= o }
+
+// After reports whether e is strictly newer than o.
+func (e EpochID) After(o EpochID) bool { return e > o }
+
+// AtLeast reports whether e is no older than o (e >= o).
+func (e EpochID) AtLeast(o EpochID) bool { return e >= o }
+
+// Gap returns how many epochs e leads o by (e - o), saturating at zero
+// when o is newer. The ACS engine compares this against the tag-space
+// bound: the live range [Persisted, System] must keep
+// System.Gap(Persisted) < TagMask or in-flight tags become ambiguous.
+func (e EpochID) Gap(o EpochID) uint64 {
+	if e < o {
+		return 0
+	}
+	return uint64(e - o)
+}
+
+// Minus returns the epoch n before e, saturating at epoch 0 (the
+// pristine pre-epoch-1 state) instead of wrapping to NoEpoch territory.
+func (e EpochID) Minus(n uint64) EpochID {
+	if uint64(e) < n {
+		return 0
+	}
+	return e - EpochID(n)
+}
+
 // Word is the per-line payload carried through the simulation. Real
 // hardware moves 64-byte lines; carrying a single 64-bit digest per line
 // preserves every property the crash-consistency machinery depends on

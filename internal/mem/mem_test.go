@@ -86,6 +86,83 @@ func TestResolveTagQuick(t *testing.T) {
 	}
 }
 
+// TestTagBoundaryTable pins the 4-bit tag arithmetic at the edges the
+// eidcmp lint rule exists to protect: the 15→0 tag rollover, the
+// half-range point, and the full-wrap ambiguity just past the ACS bound.
+// These are the blessed call targets (Tag/ResolveTag plus the ordering
+// helpers) that the rest of the module must use instead of raw operators.
+func TestTagBoundaryTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		epoch   EpochID // epoch whose tag the hardware stored
+		system  EpochID // current SystemEID when the tag is observed
+		resolve EpochID // what ResolveTag must reconstruct
+	}{
+		{"identity at zero", 0, 0, 0},
+		{"last pre-rollover value", 15, 15, 15},
+		// 16 truncates to tag 0; resolving tag 0 at system 16 must give
+		// 16 back, not 0 — a raw compare of tags would order them 0 < 15
+		// even though epoch 16 is newer than epoch 15.
+		{"15->0 rollover", 16, 16, 16},
+		{"tag 15 still live across rollover", 15, 16, 15},
+		{"tag 15 live at max gap", 15, 29, 15},
+		// Half-range: at system 24, tag 0 could mean epoch 16 or the
+		// eight-epoch-older 16-aliased epoch... the unique answer within
+		// gap < 16 is 16.
+		{"half-range back", 16, 24, 16},
+		{"half-range forward alias", 24, 24, 24},
+		// Large absolute epochs: only the low TagBits matter.
+		{"large epoch rollover", 1<<40 | 16, 1<<40 | 16, 1<<40 | 16},
+		{"large epoch cross", 1<<40 - 1, 1 << 40, 1<<40 - 1},
+	}
+	for _, c := range cases {
+		if got := ResolveTag(c.epoch.Tag(), c.system); got != c.resolve {
+			t.Errorf("%s: ResolveTag(tag(%d), %d) = %d, want %d",
+				c.name, c.epoch, c.system, got, c.resolve)
+		}
+	}
+
+	// Full-wrap ambiguity: one whole tag space (16) behind system, the
+	// tag aliases the current epoch — ResolveTag CANNOT distinguish them,
+	// which is precisely why the ACS engine stalls commits before
+	// System.Gap(Persisted) reaches TagMask (see core.EpochBoundary).
+	if got := ResolveTag(EpochID(4).Tag(), 20); got != 20 {
+		t.Errorf("full-wrap alias: ResolveTag(tag(4), 20) = %d, want the aliased 20", got)
+	}
+}
+
+// TestEpochOrderingHelpers exercises the helper set the eidcmp rule
+// funnels every non-mem package through.
+func TestEpochOrderingHelpers(t *testing.T) {
+	if !EpochID(3).Before(4) || EpochID(4).Before(4) || EpochID(5).Before(4) {
+		t.Error("Before misordered")
+	}
+	if !EpochID(4).AtMost(4) || !EpochID(3).AtMost(4) || EpochID(5).AtMost(4) {
+		t.Error("AtMost misordered")
+	}
+	if !EpochID(5).After(4) || EpochID(4).After(4) || EpochID(3).After(4) {
+		t.Error("After misordered")
+	}
+	if !EpochID(4).AtLeast(4) || !EpochID(5).AtLeast(4) || EpochID(3).AtLeast(4) {
+		t.Error("AtLeast misordered")
+	}
+	if NoEpoch.AtMost(1<<50) || !NoEpoch.After(1<<50) {
+		t.Error("NoEpoch must sort after every real epoch")
+	}
+	if got := EpochID(19).Gap(4); got != 15 {
+		t.Errorf("Gap(19,4) = %d, want 15", got)
+	}
+	if got := EpochID(4).Gap(19); got != 0 {
+		t.Errorf("Gap saturation: Gap(4,19) = %d, want 0", got)
+	}
+	if got := EpochID(7).Minus(3); got != 4 {
+		t.Errorf("Minus(7,3) = %d, want 4", got)
+	}
+	if got := EpochID(2).Minus(5); got != 0 {
+		t.Errorf("Minus must saturate at 0, got %d", got)
+	}
+}
+
 func TestPayloadForDistinct(t *testing.T) {
 	seen := make(map[Word][3]uint64)
 	for l := uint64(0); l < 50; l++ {

@@ -310,8 +310,9 @@ func (c *Controller) SubmitRead(now uint64, page uint64) uint64 {
 	if len(c.dramCache) >= c.cfg.DRAMCachePages {
 		var victim uint64
 		oldest := ^uint64(0)
+		//lint:ignore determinism argmin over unique dramClock stamps, with a page-id tie-break, picks the same victim in any iteration order
 		for p, stamp := range c.dramCache {
-			if stamp < oldest {
+			if stamp < oldest || (stamp == oldest && p < victim) {
 				oldest, victim = stamp, p
 			}
 		}

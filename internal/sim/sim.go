@@ -324,7 +324,7 @@ func (m *Machine) sampleEpoch(now uint64) {
 	cur := m.ctl.Stats()
 	prev := &m.lastEpoch
 	m.timeline = append(m.timeline, EpochSample{
-		Epoch:       m.scheme.SystemEID() - 1,
+		Epoch:       m.scheme.SystemEID().Minus(1),
 		Cycles:      now - prev.at,
 		StallCycles: m.stallCyc - prev.stall,
 		Writebacks:  cur.Ops(nvm.CatWriteback) - prev.nvm.Ops(nvm.CatWriteback),

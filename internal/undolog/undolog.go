@@ -31,7 +31,7 @@ type Entry struct {
 
 // Covers reports whether this entry participates in recovery to epoch e.
 func (en Entry) Covers(e mem.EpochID) bool {
-	return en.ValidFrom <= e && e < en.ValidTill
+	return en.ValidFrom.AtMost(e) && e.Before(en.ValidTill)
 }
 
 // EntryBytes is the NVM footprint of one entry: 64 B data plus packed
@@ -95,7 +95,7 @@ func (l *Log) AppendBlock(entries []Entry) {
 	}
 	var maxTill mem.EpochID
 	for _, e := range entries {
-		if e.ValidTill > maxTill {
+		if e.ValidTill.After(maxTill) {
 			maxTill = e.ValidTill
 		}
 	}
@@ -144,7 +144,7 @@ func (l *Log) Blocks() uint64 { return l.start + uint64(len(l.blocks)) }
 // reclaimed.
 func (l *Log) GC(persisted mem.EpochID) uint64 {
 	n := 0
-	for n < len(l.blocks) && l.blocks[n].MaxValidTill <= persisted {
+	for n < len(l.blocks) && l.blocks[n].MaxValidTill.AtMost(persisted) {
 		n++
 	}
 	if n == 0 {
@@ -167,7 +167,7 @@ func (l *Log) GC(persisted mem.EpochID) uint64 {
 func (l *Log) ApplyTo(img *mem.Image, persisted mem.EpochID) (applied, scanned int) {
 	for i := len(l.blocks) - 1; i >= 0; i-- {
 		b := &l.blocks[i]
-		if b.MaxValidTill <= persisted {
+		if b.MaxValidTill.AtMost(persisted) {
 			break
 		}
 		scanned++
@@ -202,7 +202,7 @@ func (l *Log) Reclaimed() uint64 { return l.reclaimed }
 // both GC and the recovery early-stop depend on.
 func (l *Log) CheckOrdered() error {
 	for i := 1; i < len(l.blocks); i++ {
-		if l.blocks[i].MaxValidTill < l.blocks[i-1].MaxValidTill {
+		if l.blocks[i].MaxValidTill.Before(l.blocks[i-1].MaxValidTill) {
 			return errors.New("undolog: block expiration tags out of order")
 		}
 	}
@@ -248,7 +248,7 @@ func (b *Buffer) OldestValidTill() mem.EpochID {
 	}
 	minTill := b.entries[0].ValidTill
 	for _, e := range b.entries[1:] {
-		if e.ValidTill < minTill {
+		if e.ValidTill.Before(minTill) {
 			minTill = e.ValidTill
 		}
 	}

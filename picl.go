@@ -355,7 +355,7 @@ func (m *Machine) releaseIO() []string {
 	persisted := m.scheme.PersistedEID()
 	var out []string
 	i := 0
-	for i < len(m.ioQueue) && m.ioQueue[i].epoch <= persisted {
+	for i < len(m.ioQueue) && m.ioQueue[i].epoch.AtMost(persisted) {
 		out = append(out, m.ioQueue[i].tag)
 		i++
 	}
