@@ -1,12 +1,14 @@
-.PHONY: ci vet lint build test race bench
+.PHONY: ci vet lint build test race bench bench-check bench-test
 
 # ci is the tier-1 gate: vet, the project-specific invariant linter,
-# build everything, then the full test suite under the race detector
+# build everything, the full test suite under the race detector
 # (the concurrency contract in internal/sim's package doc is enforced
-# here, not just documented). picl-lint exits nonzero on any
-# unsuppressed diagnostic, so a determinism/epoch/lock violation fails
-# the build exactly like a vet error.
-ci: vet lint build race
+# here, not just documented), then the short-mode perf gate. picl-lint
+# exits nonzero on any unsuppressed diagnostic, so a determinism/epoch/
+# lock violation fails the build exactly like a vet error, and
+# bench-check fails it on a throughput or output-byte regression
+# against the committed BENCH_PR4.json.
+ci: vet lint build race bench-check
 
 vet:
 	go vet ./...
@@ -25,5 +27,26 @@ test:
 race:
 	go test -race ./...
 
+# bench re-records the perf baseline: every substrate microbenchmark at
+# full benchtime plus a short-benchtime section for CI, instr/sec for
+# the simulator throughput benchmark, the Fig. 9 PiCL GMean, and the
+# SHA-256 digests of the rendered Fig. 9/Table 5 tables. Commit the
+# refreshed BENCH_PR4.json together with any intentional perf change.
 bench:
+	go run ./cmd/picl-perf -out BENCH_PR4.json
+
+# bench-check (part of ci) replays the short benchmark section and the
+# small-figure digests against the committed baseline: timing regression
+# on the recording host, any allocs/op growth on a zero-alloc path, or a
+# single changed output byte fails. On other hosts the timing gates are
+# skipped automatically; digests still apply. Timing is compared after
+# dividing out the Calibrate spin (host-speed drift); the tolerance here
+# is 25% rather than picl-perf's default 10% because shared-container
+# hosts show measured ±15% non-uniform drift on memory-bound benches
+# even after calibration — a real hot-path regression still trips it.
+bench-check:
+	go run ./cmd/picl-perf -check -short -tol 0.25 -baseline BENCH_PR4.json
+
+# bench-test runs the same bodies through the plain go-test harness.
+bench-test:
 	go test -bench=. -benchmem

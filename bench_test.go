@@ -16,12 +16,9 @@ import (
 	"sync"
 	"testing"
 
-	"picl/internal/bloom"
-	"picl/internal/cache"
 	"picl/internal/exp"
 	"picl/internal/mem"
-	"picl/internal/nvm"
-	"picl/internal/sim"
+	"picl/internal/perf"
 	"picl/internal/stats"
 	"picl/internal/trace"
 	"picl/internal/undolog"
@@ -301,88 +298,19 @@ func BenchmarkAvailabilityReport(b *testing.B) {
 }
 
 // --- substrate microbenchmarks ---------------------------------------------
+//
+// The bodies live in internal/perf, shared with cmd/picl-perf so the
+// BENCH_PR4.json comparator gates on exactly what these wrappers run.
 
-func BenchmarkCacheLookupHit(b *testing.B) {
-	c := cache.New(cache.Config{Name: "b", Size: 2 << 20, Ways: 8, Latency: 1})
-	for i := 0; i < 1024; i++ {
-		c.Insert(mem.LineAddr(i), mem.Word(i), 0, false)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Lookup(mem.LineAddr(i&1023), true)
-	}
-}
-
-func BenchmarkCacheInsertEvict(b *testing.B) {
-	c := cache.New(cache.Config{Name: "b", Size: 64 << 10, Ways: 8, Latency: 1})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Insert(mem.LineAddr(i), mem.Word(i), 0, true)
-	}
-}
-
-func BenchmarkHierarchyStore(b *testing.B) {
-	ctl := nvm.NewController(nvm.DefaultConfig())
-	scheme, _ := sim.MakeScheme("picl", ctl, false, DefaultConfig(), exp.Scaled().Params())
-	h := cache.NewHierarchy(exp.Scaled().Hierarchy(1), scheme, scheme)
-	scheme.Attach(h)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h.Store(uint64(i), 0, mem.LineAddr(i&4095), mem.Word(i))
-	}
-}
-
-func BenchmarkNVMSubmit(b *testing.B) {
-	c := nvm.NewController(nvm.DefaultConfig())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Submit(uint64(i)*1000, nvm.OpWriteback, 64)
-	}
-}
-
-func BenchmarkBloomInsertProbe(b *testing.B) {
-	f := bloom.Default()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.Insert(mem.LineAddr(i))
-		f.MayContain(mem.LineAddr(i + 1))
-		if i&31 == 31 {
-			f.Clear()
-		}
-	}
-}
-
-func BenchmarkUndoLogAppendGC(b *testing.B) {
-	l := undolog.NewLog(0)
-	entries := make([]undolog.Entry, undolog.EntriesPerBlock)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := range entries {
-			entries[j] = undolog.Entry{Line: mem.LineAddr(j), ValidFrom: mem.EpochID(i), ValidTill: mem.EpochID(i + 1)}
-		}
-		l.AppendBlock(entries)
-		if i&63 == 63 {
-			l.GC(mem.EpochID(i - 4))
-		}
-	}
-}
-
-func BenchmarkSimThroughputPiCL(b *testing.B) {
-	// End-to-end simulator speed: instructions simulated per second.
-	g := trace.NewSynthetic(trace.MustProfile("gcc").Scale(1.0/64), 0, 1)
-	h := exp.Scaled().Hierarchy(1)
-	m, err := sim.New(sim.Config{
-		Scheme: "picl", Workloads: []trace.Generator{g},
-		Hierarchy: &h, EpochInstr: 469_000, InstrPerCore: ^uint64(0),
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	target := uint64(b.N)
-	m.RunUntil(func(_ uint64, instr uint64) bool { return instr >= target })
-	b.ReportMetric(float64(b.N), "instr")
-}
+func BenchmarkCacheLookupHit(b *testing.B)     { perf.CacheLookupHit(b) }
+func BenchmarkCacheInsertEvict(b *testing.B)   { perf.CacheInsertEvict(b) }
+func BenchmarkHierarchyStore(b *testing.B)     { perf.HierarchyStore(b) }
+func BenchmarkNVMSubmit(b *testing.B)          { perf.NVMSubmit(b) }
+func BenchmarkBloomInsertProbe(b *testing.B)   { perf.BloomInsertProbe(b) }
+func BenchmarkUndoLogAppendGC(b *testing.B)    { perf.UndoLogAppendGC(b) }
+func BenchmarkImageSnapshotCOW(b *testing.B)   { perf.ImageSnapshotCOW(b) }
+func BenchmarkImageSnapshotClone(b *testing.B) { perf.ImageSnapshotClone(b) }
+func BenchmarkSimThroughputPiCL(b *testing.B)  { perf.SimThroughputPiCL(b) }
 
 func BenchmarkRecoveryScan(b *testing.B) {
 	// Recovery speed over a populated log.

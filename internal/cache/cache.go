@@ -18,15 +18,17 @@ import (
 // Line is one cache entry. A Line is identified by its full line address
 // (kept whole rather than split into tag/index bits; the split is a
 // hardware storage detail with no behavioral consequence).
+// The word-sized fields lead and the flag bytes trail so the struct
+// packs into 32 bytes (two lines per host cache line in the array).
 type Line struct {
-	Addr  mem.LineAddr
-	Valid bool
-	Dirty bool
+	Addr mem.LineAddr
 	// EID is the epoch the line was last stored to in, or mem.NoEpoch for
 	// lines never stored to since fill (paper §IV-A).
 	EID  mem.EpochID
 	Data mem.Word
 
+	Valid bool
+	Dirty bool
 	// Owner is the core whose private caches hold this line (-1 none).
 	// Maintained only in the LLC; the evaluated workloads are
 	// multiprogrammed so a line has at most one private holder.
@@ -36,8 +38,6 @@ type Line struct {
 	// stores' EID-forwarding (paper Fig. 8), cleared when the data drains
 	// back or is snooped by ACS/flush.
 	PrivDirty bool
-
-	lru uint64
 }
 
 // Config describes one cache array.
@@ -56,13 +56,29 @@ type Stats struct {
 }
 
 // Cache is a set-associative, LRU, write-back cache array.
+//
+// Alongside the Line array the cache keeps compact parallel tag and LRU
+// arrays (per way: the line address plus one with zero meaning invalid,
+// and the last-touch stamp). Way scans — the single hottest operation in
+// the whole simulator, every access runs several of them — touch only
+// these densely packed arrays (one cache line covers an 8-way set)
+// instead of striding across the ~40-byte Line structs. Invariant:
+// tags[i] != 0 exactly when lines[i].Valid, and then
+// tags[i] == uint64(lines[i].Addr)+1. Every mutation point (Place,
+// Invalidate, Reset) maintains it; external callers mutate Lines only
+// through pointers and never change Valid/Addr.
 type Cache struct {
 	cfg     Config
 	sets    int
 	setMask uint64
-	lines   []Line // sets*ways, set-major
+	ways    int
+	lines   []Line   // sets*ways, set-major
+	tags    []uint64 // parallel to lines: addr+1, or 0 when invalid
+	lru     []uint64 // parallel to lines: last-touch stamp
 	stamp   uint64
 	stats   Stats
+	// victim is Place's eviction scratch slot; see Place.
+	victim Line
 }
 
 // New builds a cache. Size/Ways must yield a power-of-two set count.
@@ -82,7 +98,10 @@ func New(cfg Config) *Cache {
 		cfg:     cfg,
 		sets:    sets,
 		setMask: uint64(sets - 1),
+		ways:    cfg.Ways,
 		lines:   make([]Line, sets*cfg.Ways),
+		tags:    make([]uint64, sets*cfg.Ways),
+		lru:     make([]uint64, sets*cfg.Ways),
 	}
 }
 
@@ -98,24 +117,21 @@ func (c *Cache) Ways() int { return c.cfg.Ways }
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-func (c *Cache) set(l mem.LineAddr) []Line {
-	s := int(uint64(l) & c.setMask)
-	return c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
-}
-
 // Lookup returns the line holding l, or nil on miss. touch refreshes LRU
 // and records hit/miss statistics; probes that must not disturb
 // replacement state (snoops, scans) pass touch=false.
 func (c *Cache) Lookup(l mem.LineAddr, touch bool) *Line {
-	set := c.set(l)
-	for i := range set {
-		if set[i].Valid && set[i].Addr == l {
+	base := int(uint64(l)&c.setMask) * c.ways
+	tag := uint64(l) + 1
+	for j, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			i := base + j
 			if touch {
 				c.stamp++
-				set[i].lru = c.stamp
+				c.lru[i] = c.stamp
 				c.stats.Hits++
 			}
-			return &set[i]
+			return &c.lines[i]
 		}
 	}
 	if touch {
@@ -124,63 +140,93 @@ func (c *Cache) Lookup(l mem.LineAddr, touch bool) *Line {
 	return nil
 }
 
-// Insert places line l with the given contents, evicting the LRU way if
-// the set is full. It returns the evicted line (by value) and whether an
-// eviction happened. Inserting a line that is already present overwrites
-// it in place with no eviction. The caller handles the victim (write-back,
-// back-invalidation of inner copies).
-func (c *Cache) Insert(l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool) (victim Line, evicted bool) {
-	set := c.set(l)
+// Place puts line l with the given contents, evicting the LRU way if the
+// set is full, and returns a pointer to the resident line so callers can
+// keep mutating it without a second way scan. Placing a line that is
+// already present overwrites it in place with no eviction. The hit, free
+// way, and LRU victim are found in one pass over the set's tag words.
+//
+// On eviction the victim's prior contents are returned through a pointer
+// into a per-Cache scratch slot (nil when nothing was evicted), so the
+// common no-eviction call moves two words instead of a whole Line. The
+// pointer is valid only until the next Place on the same Cache; the
+// hierarchy drains each victim (write-back, back-invalidation of inner
+// copies) before it places again on that array.
+func (c *Cache) Place(l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool) (ln, victim *Line) {
+	base := int(uint64(l)&c.setMask) * c.ways
+	tag := uint64(l) + 1
 	c.stamp++
-	// Already present: update in place.
-	if ln := c.Lookup(l, false); ln != nil {
-		ln.Data = data
-		ln.EID = eid
-		ln.Dirty = ln.Dirty || dirty
-		ln.lru = c.stamp
-		return Line{}, false
-	}
-	// Free way?
-	slot := -1
-	for i := range set {
-		if !set[i].Valid {
-			slot = i
-			break
-		}
-	}
-	if slot < 0 {
-		// Evict LRU.
-		slot = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[slot].lru {
-				slot = i
+	tags := c.tags[base : base+c.ways]
+	lru := c.lru[base : base+c.ways]
+	free, lruJ := -1, 0
+	for j, t := range tags {
+		switch {
+		case t == tag:
+			// Already present: update in place.
+			i := base + j
+			ln = &c.lines[i]
+			ln.Data = data
+			ln.EID = eid
+			ln.Dirty = ln.Dirty || dirty
+			c.lru[i] = c.stamp
+			return ln, nil
+		case t == 0:
+			if free < 0 {
+				free = j
 			}
+		case free < 0 && lru[j] < lru[lruJ]:
+			lruJ = j
 		}
-		victim = set[slot]
-		evicted = true
+	}
+	slot := free
+	if slot < 0 {
+		// Evict LRU (first way with the minimal stamp).
+		slot = lruJ
+		c.victim = c.lines[base+slot]
+		victim = &c.victim
 		c.stats.Evictions++
 		if victim.Dirty || victim.PrivDirty {
 			c.stats.DirtyEvictions++
 		}
 	}
-	set[slot] = Line{
+	i := base + slot
+	c.lines[i] = Line{
 		Addr:  l,
 		Valid: true,
 		Dirty: dirty,
 		EID:   eid,
 		Data:  data,
 		Owner: -1,
-		lru:   c.stamp,
 	}
-	return victim, evicted
+	c.tags[i] = tag
+	c.lru[i] = c.stamp
+	return &c.lines[i], victim
 }
 
-// Invalidate removes line l, returning its prior contents.
+// Insert is Place without the resident-line pointer, returning the victim
+// by value; kept for callers that only care about the victim.
+func (c *Cache) Insert(l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool) (victim Line, evicted bool) {
+	_, v := c.Place(l, data, eid, dirty)
+	if v == nil {
+		return Line{}, false
+	}
+	return *v, true
+}
+
+// Invalidate removes line l, returning its prior contents. Only the
+// valid bit and tag are cleared; the stale payload fields are dead until
+// Place overwrites the way.
 func (c *Cache) Invalidate(l mem.LineAddr) (Line, bool) {
-	if ln := c.Lookup(l, false); ln != nil {
-		old := *ln
-		*ln = Line{}
-		return old, true
+	base := int(uint64(l)&c.setMask) * c.ways
+	tag := uint64(l) + 1
+	for j, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			i := base + j
+			old := c.lines[i]
+			c.lines[i].Valid = false
+			c.tags[i] = 0
+			return old, true
+		}
 	}
 	return Line{}, false
 }
@@ -215,6 +261,8 @@ func (c *Cache) CountDirty() int {
 func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i] = Line{}
+		c.tags[i] = 0
+		c.lru[i] = 0
 	}
 	c.stamp = 0
 	c.stats = Stats{}

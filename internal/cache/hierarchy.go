@@ -149,7 +149,7 @@ func (h *Hierarchy) snoopPrivate(ln *Line, inval bool) (data mem.Word, eid mem.E
 // evictLLCVictim handles a line evicted from the LLC: back-invalidate the
 // owner's private copies (inclusion), and hand the freshest data to the
 // backend if dirty. Returns the stall-until time from the backend.
-func (h *Hierarchy) evictLLCVictim(now uint64, v Line) uint64 {
+func (h *Hierarchy) evictLLCVictim(now uint64, v *Line) uint64 {
 	data, eid, dirty := v.Data, v.EID, v.Dirty
 	if v.Owner >= 0 {
 		owner := int(v.Owner)
@@ -169,12 +169,11 @@ func (h *Hierarchy) evictLLCVictim(now uint64, v Line) uint64 {
 // installLLC inserts a line into the LLC, processing the victim cascade,
 // and returns (pointer to the installed line, stall-until).
 func (h *Hierarchy) installLLC(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool, owner int) (*Line, uint64) {
-	victim, evicted := h.llc.Insert(l, data, eid, dirty)
+	ln, victim := h.llc.Place(l, data, eid, dirty)
 	stall := now
-	if evicted {
+	if victim != nil {
 		stall = h.evictLLCVictim(now, victim)
 	}
-	ln := h.llc.Lookup(l, false)
 	ln.Owner = int8(owner)
 	return ln, stall
 }
@@ -182,8 +181,8 @@ func (h *Hierarchy) installLLC(now uint64, l mem.LineAddr, data mem.Word, eid me
 // installL2 inserts into a core's L2, draining the victim into the LLC
 // (which holds it by inclusion) and back-invalidating the L1 copy.
 func (h *Hierarchy) installL2(now uint64, core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) uint64 {
-	victim, evicted := h.l2[core].Insert(l, data, eid, false)
-	if !evicted {
+	_, victim := h.l2[core].Place(l, data, eid, false)
+	if victim == nil {
 		return now
 	}
 	vdata, veid, vdirty := victim.Data, victim.EID, victim.Dirty
@@ -205,11 +204,12 @@ func (h *Hierarchy) installL2(now uint64, core int, l mem.LineAddr, data mem.Wor
 	return now
 }
 
-// installL1 inserts into a core's L1, draining the victim into its L2.
-func (h *Hierarchy) installL1(core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) {
-	victim, evicted := h.l1[core].Insert(l, data, eid, false)
-	if !evicted || !victim.Dirty {
-		return
+// installL1 inserts into a core's L1, draining the victim into its L2,
+// and returns the resident L1 line.
+func (h *Hierarchy) installL1(core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) *Line {
+	ln, victim := h.l1[core].Place(l, data, eid, false)
+	if victim == nil || !victim.Dirty {
+		return ln
 	}
 	l2ln := h.l2[core].Lookup(victim.Addr, false)
 	if l2ln == nil {
@@ -219,28 +219,31 @@ func (h *Hierarchy) installL1(core int, l mem.LineAddr, data mem.Word, eid mem.E
 			lln.Data, lln.EID, lln.Dirty = victim.Data, victim.EID, true
 			lln.PrivDirty = false
 		}
-		return
+		return ln
 	}
 	l2ln.Data, l2ln.EID, l2ln.Dirty = victim.Data, victim.EID, true
+	return ln
 }
 
 // fetch brings line l into core's L1 (and the levels above, maintaining
-// inclusion) and returns the L1 line, the hierarchy latency in cycles,
-// the memory completion time (0 if no memory access), and a stall-until
-// time from any eviction backpressure.
-func (h *Hierarchy) fetch(now uint64, core int, l mem.LineAddr) (ln *Line, lat uint64, memDone uint64, stall uint64) {
+// inclusion) and returns the L1 line, the LLC line if this path touched
+// it (nil on L1/L2 hits; possibly stale after the install cascades —
+// callers revalidate), the hierarchy latency in cycles, the memory
+// completion time (0 if no memory access), and a stall-until time from
+// any eviction backpressure.
+func (h *Hierarchy) fetch(now uint64, core int, l mem.LineAddr) (ln, lln *Line, lat uint64, memDone uint64, stall uint64) {
 	stall = now
 	lat = h.cfg.L1.Latency
 	if ln = h.l1[core].Lookup(l, true); ln != nil {
-		return ln, lat, 0, stall
+		return ln, nil, lat, 0, stall
 	}
 	lat += h.cfg.L2.Latency
 	if l2ln := h.l2[core].Lookup(l, true); l2ln != nil {
-		h.installL1(core, l, l2ln.Data, l2ln.EID)
-		return h.l1[core].Lookup(l, false), lat, 0, stall
+		ln = h.installL1(core, l, l2ln.Data, l2ln.EID)
+		return ln, nil, lat, 0, stall
 	}
 	lat += h.cfg.LLC.Latency
-	if lln := h.llc.Lookup(l, true); lln != nil {
+	if lln = h.llc.Lookup(l, true); lln != nil {
 		data, eid, _ := lln.Data, lln.EID, lln.Dirty
 		if int(lln.Owner) != core && lln.Owner >= 0 {
 			// Another core holds it privately: migrate (snoop + inval).
@@ -259,28 +262,28 @@ func (h *Hierarchy) fetch(now uint64, core int, l mem.LineAddr) (ln *Line, lat u
 		if stall2 > stall {
 			stall = stall2
 		}
-		h.installL1(core, l, data, eid)
-		return h.l1[core].Lookup(l, false), lat, 0, stall
+		ln = h.installL1(core, l, data, eid)
+		return ln, lln, lat, 0, stall
 	}
 	// Full miss: fetch from the persistence backend.
 	data, done := h.backend.Fill(now+lat, l)
 	// Paper §IV-A: a line loaded from memory has no EID associated.
-	_, stallA := h.installLLC(now, l, data, mem.NoEpoch, false, core)
+	lln, stallA := h.installLLC(now, l, data, mem.NoEpoch, false, core)
 	stallB := h.installL2(now, core, l, data, mem.NoEpoch)
-	h.installL1(core, l, data, mem.NoEpoch)
+	ln = h.installL1(core, l, data, mem.NoEpoch)
 	if stallA > stall {
 		stall = stallA
 	}
 	if stallB > stall {
 		stall = stallB
 	}
-	return h.l1[core].Lookup(l, false), lat, done, stall
+	return ln, lln, lat, done, stall
 }
 
 // Load performs a blocking read by core of line l at time now. It returns
 // the data and the time the core may continue.
 func (h *Hierarchy) Load(now uint64, core int, l mem.LineAddr) (mem.Word, uint64) {
-	ln, lat, memDone, stall := h.fetch(now, core, l)
+	ln, _, lat, memDone, stall := h.fetch(now, core, l)
 	done := now + lat
 	if memDone > done {
 		done = memDone
@@ -296,8 +299,13 @@ func (h *Hierarchy) Load(now uint64, core int, l mem.LineAddr) (mem.Word, uint64
 // latency; the returned time reflects only backpressure stalls (from
 // evictions, observer-side log flushes, or a full memory queue).
 func (h *Hierarchy) Store(now uint64, core int, l mem.LineAddr, data mem.Word) uint64 {
-	ln, _, _, stall := h.fetch(now, core, l)
-	lln := h.llc.Lookup(l, false)
+	ln, lln, _, _, stall := h.fetch(now, core, l)
+	// fetch's LLC pointer can be stale (the install cascade may have
+	// evicted or replaced the way) or absent on private-cache hits;
+	// revalidate before trusting it.
+	if lln == nil || !lln.Valid || lln.Addr != l {
+		lln = h.llc.Lookup(l, false)
+	}
 	wasModified := ln.Dirty
 	if lln != nil && (lln.Dirty || lln.PrivDirty) {
 		wasModified = true

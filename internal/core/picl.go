@@ -27,6 +27,7 @@ import (
 	"picl/internal/checkpoint"
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/stats"
 	"picl/internal/undolog"
 )
 
@@ -80,6 +81,9 @@ type PiCL struct {
 	// reads it first (paper §IV-B crash handling).
 	durableMarker mem.EpochID
 	pending       []persistRec
+
+	// Per-event counter handles for the store/eviction fast paths.
+	cUndo, cBufFlush, cDepFlush, cEvictWB stats.Handle
 }
 
 // New constructs PiCL over the given memory controller. functional
@@ -102,6 +106,10 @@ func New(cfg Config, ctl *nvm.Controller, functional bool) *PiCL {
 		log:    undolog.NewLog(cfg.LogRegionBytes),
 	}
 	p.System = 1
+	p.cUndo = p.C.Handle("undo_entries")
+	p.cBufFlush = p.C.Handle("buffer_flushes")
+	p.cDepFlush = p.C.Handle("dependency_flushes")
+	p.cEvictWB = p.C.Handle("evict_writebacks")
 	return p
 }
 
@@ -141,7 +149,7 @@ func (p *PiCL) OnStore(now uint64, l mem.LineAddr, old mem.Word, oldEID mem.Epoc
 // addUndo stages an entry in the on-chip buffer, flushing it as one
 // sequential block write when full.
 func (p *PiCL) addUndo(now uint64, e undolog.Entry) uint64 {
-	p.C.Add("undo_entries", 1)
+	p.cUndo.Add(1)
 	p.filter.Insert(e.Line)
 	if p.buf.Add(e) {
 		return p.flushBuffer(now)
@@ -167,7 +175,7 @@ func (p *PiCL) flushBuffer(now uint64) uint64 {
 		undo = func() { p.log.TruncateTo(watermark - 1) }
 	}
 	p.Persist(stall, nvm.OpSeqBlockWrite, undolog.BlockBytes, undo)
-	p.C.Add("buffer_flushes", 1)
+	p.cBufFlush.Add(1)
 	return stall
 }
 
@@ -179,11 +187,11 @@ func (p *PiCL) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, eid mem.Epo
 	stall := now
 	if p.filter.MayContain(l) {
 		stall = p.flushBuffer(now)
-		p.C.Add("dependency_flushes", 1)
+		p.cDepFlush.Add(1)
 	}
 	stall2 := p.MaybeStall(stall)
 	p.PersistLineWrite(stall2, nvm.OpWriteback, l, data)
-	p.C.Add("evict_writebacks", 1)
+	p.cEvictWB.Add(1)
 	return stall2
 }
 

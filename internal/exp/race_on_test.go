@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled steers slow golden tests onto the small subset when the
+// race detector multiplies simulation cost.
+const raceEnabled = true

@@ -1,0 +1,108 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistoryMatchesNaiveClones model-checks the copy-on-write history
+// against the strategy it replaced: cloning the full image at every
+// mark. A random workload over a small line space (to force repeated
+// overwrites, first-touch dedup, and zero-write deletions) is applied
+// epoch by epoch; afterwards every At(k) must reconstruct exactly the
+// clone taken at mark k, and current state must be untouched.
+func TestHistoryMatchesNaiveClones(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	im := NewImage()
+	// Pre-populate so mark 0 is a non-trivial state.
+	for i := 0; i < 200; i++ {
+		im.Write(LineAddr(r.Intn(64)), Word(r.Uint64()))
+	}
+	im.EnableHistory()
+	golden := []*Image{im.Clone()} // mark 0
+
+	const epochs = 40
+	for e := 0; e < epochs; e++ {
+		for w := 0; w < 100; w++ {
+			l := LineAddr(r.Intn(64))
+			if r.Intn(8) == 0 {
+				im.Write(l, 0) // exercise the delete path
+			} else {
+				im.Write(l, Word(r.Uint64()))
+			}
+		}
+		if got := im.Mark(); got != e+1 {
+			t.Fatalf("Mark() = %d after epoch %d, want %d", got, e, e+1)
+		}
+		golden = append(golden, im.Clone())
+	}
+	// A trailing unsealed epoch: At must rewind these writes too.
+	for w := 0; w < 50; w++ {
+		im.Write(LineAddr(r.Intn(64)), Word(r.Uint64()))
+	}
+	cur := im.Clone()
+
+	if im.Marks() != epochs {
+		t.Fatalf("Marks() = %d, want %d", im.Marks(), epochs)
+	}
+	for k := 0; k <= epochs; k++ {
+		at := im.At(k)
+		if !at.Equal(golden[k]) {
+			t.Fatalf("At(%d) diverges from the naive clone on lines %v", k, at.Diff(golden[k], 5))
+		}
+	}
+	if !im.Equal(cur) {
+		t.Fatal("At reconstruction mutated the live image")
+	}
+}
+
+// TestHistoryAtBounds pins At's domain: marks 0..Marks() exist, anything
+// else panics, and an image without history panics for any k.
+func TestHistoryAtBounds(t *testing.T) {
+	im := NewImage()
+	im.EnableHistory()
+	im.Write(1, 2)
+	im.Mark()
+
+	for _, k := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d) with 1 mark did not panic", k)
+				}
+			}()
+			im.At(k)
+		}()
+	}
+
+	plain := NewImage()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(0) without EnableHistory did not panic")
+		}
+	}()
+	plain.At(0)
+}
+
+// TestHistoryReconstructionIsDetached verifies At returns deep copies:
+// writing to a reconstruction must not leak into the live image or into
+// other reconstructions.
+func TestHistoryReconstructionIsDetached(t *testing.T) {
+	im := NewImage()
+	im.Write(7, 70)
+	im.EnableHistory()
+	im.Write(7, 71)
+	im.Mark()
+
+	a, b := im.At(0), im.At(1)
+	a.Write(7, 999)
+	if got := b.Read(7); got != 71 {
+		t.Fatalf("sibling reconstruction saw %d, want 71", got)
+	}
+	if got := im.Read(7); got != 71 {
+		t.Fatalf("live image saw %d, want 71", got)
+	}
+	if got := im.At(0).Read(7); got != 70 {
+		t.Fatalf("fresh At(0) saw %d, want 70", got)
+	}
+}

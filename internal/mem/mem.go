@@ -153,8 +153,24 @@ func PayloadFor(l LineAddr, e EpochID, seq uint64) Word {
 
 // Image is a sparse line-granular memory image: the functional contents of
 // main memory (NVM). Lines never written remain at the zero Word.
+//
+// An Image can additionally record its own history (EnableHistory): each
+// write logs the line's pre-write content the first time the line changes
+// after a mark, and Mark seals those first-touch deltas as one snapshot
+// boundary. Any marked state is then reconstructible with At at a cost of
+// O(live lines + lines written since), and the whole history costs
+// O(total lines written) memory — the copy-on-write replacement for
+// cloning the full image at every snapshot point.
 type Image struct {
 	lines map[LineAddr]Word
+
+	track bool
+	// cur holds the pre-write content of every line changed since the
+	// last mark (first touch only). undo[j] is the sealed delta that
+	// rewinds the state at mark j+1 back to the state at mark j (mark 0
+	// being the state when history was enabled).
+	cur  map[LineAddr]Word
+	undo []map[LineAddr]Word
 }
 
 // NewImage returns an empty memory image.
@@ -165,11 +181,55 @@ func (im *Image) Read(l LineAddr) Word { return im.lines[l] }
 
 // Write sets the content of line l.
 func (im *Image) Write(l LineAddr, w Word) {
+	if im.track {
+		if _, seen := im.cur[l]; !seen {
+			im.cur[l] = im.lines[l]
+		}
+	}
 	if w == 0 {
 		delete(im.lines, l)
 		return
 	}
 	im.lines[l] = w
+}
+
+// EnableHistory starts history recording. The current state becomes
+// mark 0. Must be called before any tracked writes; enabling history on
+// an image already carrying content treats that content as mark 0.
+func (im *Image) EnableHistory() {
+	im.track = true
+	im.cur = make(map[LineAddr]Word)
+}
+
+// Mark seals the delta accumulated since the previous mark and returns
+// the new mark count. The image's current state becomes mark Marks().
+func (im *Image) Mark() int {
+	im.undo = append(im.undo, im.cur)
+	im.cur = make(map[LineAddr]Word, len(im.cur))
+	return len(im.undo)
+}
+
+// Marks reports how many marks have been sealed.
+func (im *Image) Marks() int { return len(im.undo) }
+
+// At reconstructs a deep copy of the image as it was at mark k
+// (0 <= k <= Marks(); mark Marks() is the most recently sealed state).
+// The returned image does not carry history.
+func (im *Image) At(k int) *Image {
+	if !im.track || k < 0 || k > len(im.undo) {
+		panic(fmt.Sprintf("mem: no history mark %d (have %d)", k, len(im.undo)))
+	}
+	out := im.Clone()
+	apply := func(delta map[LineAddr]Word) {
+		for l, w := range delta {
+			out.Write(l, w)
+		}
+	}
+	apply(im.cur)
+	for j := len(im.undo) - 1; j >= k; j-- {
+		apply(im.undo[j])
+	}
+	return out
 }
 
 // Len reports how many lines hold non-zero content.

@@ -249,7 +249,11 @@ type Controller struct {
 	busyUntil uint64
 	// banks holds per-bank busy-until horizons; channel is the shared
 	// data-bus horizon. rr distributes address-less requests round-robin.
-	banks    []uint64
+	banks []uint64
+	// bankMask is len(banks)-1 when the bank count is a power of two
+	// (the common configuration), letting the per-request round-robin
+	// pick replace its integer divide with a mask; -1 otherwise.
+	bankMask int
 	channel  uint64
 	rr       uint64
 	readBusy uint64
@@ -282,7 +286,10 @@ func NewController(cfg Config) *Controller {
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
 	}
-	c := &Controller{cfg: cfg, banks: make([]uint64, cfg.Banks)}
+	c := &Controller{cfg: cfg, banks: make([]uint64, cfg.Banks), bankMask: -1}
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		c.bankMask = cfg.Banks - 1
+	}
 	if cfg.DRAMCachePages > 0 {
 		c.dramCache = make(map[uint64]uint64, cfg.DRAMCachePages)
 	}
@@ -418,7 +425,12 @@ func (c *Controller) Submit(now uint64, op Op, bytes int) uint64 {
 	// Bank selection: round-robin stands in for address interleaving
 	// (requests carry no addresses; conflicts on one line are already
 	// serialized by the cache hierarchy above).
-	b := int(c.rr) % len(c.banks)
+	var b int
+	if c.bankMask >= 0 {
+		b = int(c.rr) & c.bankMask
+	} else {
+		b = int(c.rr) % len(c.banks)
+	}
 	c.rr++
 
 	var finish uint64

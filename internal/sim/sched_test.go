@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNowMatchesClockScan pins the O(1) maintained Now() to its
+// specification: the maximum core clock. The stop callback polls after
+// every access quantum, so the incremental maximum is checked at every
+// point the scheduler can observe time.
+func TestNowMatchesClockScan(t *testing.T) {
+	m, err := New(tinyConfig("picl", 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polls := 0
+	m.RunUntil(func(now uint64, _ uint64) bool {
+		max := uint64(0)
+		for _, c := range m.cores {
+			if c.clock > max {
+				max = c.clock
+			}
+		}
+		if now != max || m.Now() != max {
+			t.Fatalf("Now()=%d, clock scan max=%d after %d polls", m.Now(), max, polls)
+		}
+		polls++
+		return false
+	})
+	if polls == 0 {
+		t.Fatal("stop callback never polled")
+	}
+}
+
+// TestSchedQuantumInvariance runs the same configuration under quanta
+// spanning one access to effectively unbounded and requires bit-identical
+// Results. This is the contract SchedQuantum documents: the knob may
+// change performance, never a single simulated cycle or counter.
+func TestSchedQuantumInvariance(t *testing.T) {
+	for _, scheme := range []string{"picl", "journal"} {
+		ref := func() *Result {
+			cfg := tinyConfig(scheme, 4, false)
+			cfg.SchedQuantum = 1
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m.Run()
+		}()
+		for _, q := range []int{3, 64, 1 << 20} {
+			cfg := tinyConfig(scheme, 4, false)
+			cfg.SchedQuantum = q
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.Run()
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%s: quantum %d diverges from quantum 1: cycles %d vs %d, NVM %+v vs %+v",
+					scheme, q, ref.Cycles, got.Cycles, ref.NVM, got.NVM)
+			}
+		}
+	}
+}
+
+// TestSampleEpochZeroAlloc asserts the warm sampling path allocates
+// nothing: after the reservation, recording an epoch sample is an
+// in-place append plus value copies.
+func TestSampleEpochZeroAlloc(t *testing.T) {
+	cfg := tinyConfig("picl", 1, false)
+	cfg.Timeline = true
+	cfg.InstrPerCore = cfg.EpochInstr * 1000 // roomy reservation
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cfg.EpochInstr * 3
+	m.RunUntil(func(_ uint64, instr uint64) bool { return instr >= warm })
+	if avg := testing.AllocsPerRun(100, func() { m.sampleEpoch(m.Now()) }); avg > 0 {
+		t.Fatalf("sampleEpoch allocates %.1f times per call after warm-up", avg)
+	}
+}
+
+// TestTimelinePreallocated documents the timeline reservation: the
+// epoch-sample slice is sized up front from the instruction budget, so
+// sampleEpoch never reallocates mid-run (append growth would show up
+// here as a larger final capacity).
+func TestTimelinePreallocated(t *testing.T) {
+	cfg := tinyConfig("picl", 2, false)
+	cfg.Timeline = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run()
+	wantCap := int(cfg.InstrPerCore/cfg.EpochInstr) + 2
+	if len(r.Timeline) == 0 {
+		t.Fatal("timeline enabled but no epoch samples recorded")
+	}
+	if cap(r.Timeline) != wantCap {
+		t.Fatalf("timeline capacity %d (len %d), want the preallocated %d — sampleEpoch reallocated",
+			cap(r.Timeline), len(r.Timeline), wantCap)
+	}
+}

@@ -91,6 +91,12 @@ type Config struct {
 	// for visualizing the baselines' stop-the-world commit spikes against
 	// PiCL's flat profile.
 	Timeline bool
+	// SchedQuantum caps how many consecutive accesses the scheduler may
+	// run on the chosen lagging core before it re-derives the schedule
+	// from scratch. Purely a performance/robustness knob: the scheduler
+	// re-checks the exact selection invariant after every access, so any
+	// quantum produces cycle-identical results. 0 means the default (64).
+	SchedQuantum int
 	// Functional enables content tracking, golden snapshots and crash
 	// injection (slower; used by correctness tests and examples).
 	Functional bool
@@ -160,6 +166,9 @@ type Machine struct {
 	totalInstr uint64
 	stallCyc   uint64
 	osSeq      uint64
+	// maxClock is the maximum core clock, maintained incrementally at
+	// every clock update so Now() is O(1) instead of an O(cores) scan.
+	maxClock uint64
 
 	timeline  []EpochSample
 	lastEpoch struct {
@@ -169,8 +178,7 @@ type Machine struct {
 		nvm     nvm.Stats
 	}
 
-	ref    *mem.Image
-	golden []*mem.Image
+	ref *mem.Image
 }
 
 // New builds a machine from cfg.
@@ -214,15 +222,29 @@ func New(cfg Config) (*Machine, error) {
 	for _, g := range cfg.Workloads {
 		m.cores = append(m.cores, &coreState{gen: g})
 	}
+	if cfg.Timeline {
+		// One sample per epoch boundary; preallocating the exact count
+		// keeps sampleEpoch allocation-free during the run. The division
+		// also sidesteps overflow for enormous budgets (both fields are
+		// nonzero by this point); cap the reservation for pathological
+		// budget/epoch ratios.
+		epochs := cfg.InstrPerCore / cfg.EpochInstr
+		if epochs > 1<<20 {
+			epochs = 1 << 20
+		}
+		m.timeline = make([]EpochSample, 0, epochs+2)
+	}
 	if cfg.Functional {
 		m.ref = mem.NewImage()
 		if cfg.KeepGolden {
-			m.golden = append(m.golden, m.ref.Clone())
-			// Snapshot the golden end-of-epoch state at every commit,
-			// including forced early commits triggered inside evictions.
-			scheme.SetCommitHook(func() {
-				m.golden = append(m.golden, m.ref.Clone())
-			})
+			// Golden end-of-epoch states are marks in the reference
+			// image's copy-on-write history: mark 0 is the pristine
+			// pre-epoch-1 state, and every commit — including forced
+			// early commits triggered inside evictions — seals one more.
+			// Snapshot cost is O(lines written in the epoch), not
+			// O(footprint).
+			m.ref.EnableHistory()
+			scheme.SetCommitHook(func() { m.ref.Mark() })
 		}
 	}
 	return m, nil
@@ -237,16 +259,9 @@ func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
 // Controller exposes the NVM controller.
 func (m *Machine) Controller() *nvm.Controller { return m.ctl }
 
-// Now returns the maximum core clock (system time).
-func (m *Machine) Now() uint64 {
-	var t uint64
-	for _, c := range m.cores {
-		if c.clock > t {
-			t = c.clock
-		}
-	}
-	return t
-}
+// Now returns the maximum core clock (system time). O(1): the maximum is
+// maintained at every clock update (step, boundary).
+func (m *Machine) Now() uint64 { return m.maxClock }
 
 // step runs one access quantum on the given core.
 func (m *Machine) step(c *coreState, coreID int) {
@@ -273,6 +288,9 @@ func (m *Machine) step(c *coreState, coreID int) {
 		_, done := m.hier.Load(c.clock, coreID, a.Line)
 		c.clock = done
 	}
+	if c.clock > m.maxClock {
+		m.maxClock = c.clock
+	}
 }
 
 // boundary delivers the epoch interrupt: all cores synchronize at the
@@ -289,6 +307,9 @@ func (m *Machine) boundary() {
 		if c.clock < resume {
 			c.clock = resume
 		}
+	}
+	if resume > m.maxClock {
+		m.maxClock = resume
 	}
 	m.scheme.Tick(resume)
 	if m.cfg.Timeline {
@@ -310,6 +331,9 @@ func (m *Machine) boundary() {
 			if m.cfg.Functional {
 				m.ref.Write(l, payload)
 			}
+		}
+		if c.clock > m.maxClock {
+			m.maxClock = c.clock
 		}
 	}
 }
@@ -346,39 +370,74 @@ func (m *Machine) Run() *Result {
 // RunUntil executes until the budget is exhausted or stop (if non-nil)
 // returns true; stop is polled between access quanta with the system
 // time. Used for crash injection at an instruction-precise point.
+//
+// Scheduling: the engine always runs the lagging core — the lowest clock
+// among cores with remaining budget, ties to the lowest index. Rather
+// than rescanning all cores after every access, one selection pass also
+// records the runner-up (the best of the remaining cores), and the
+// chosen core keeps running while it provably remains the selection:
+// stepping it only raises its own clock, so it stays the lagging core
+// exactly until its (clock, index) key reaches the runner-up's. The
+// schedule is re-derived whenever that bound is crossed, the core
+// exhausts its budget, an epoch boundary raises every clock, or
+// SchedQuantum accesses have run — so any quantum is cycle-identical to
+// the original one-access-at-a-time selection loop.
 func (m *Machine) RunUntil(stop func(now uint64, instr uint64) bool) *Result {
 	target := m.cfg.InstrPerCore
 	epochEvery := m.cfg.EpochInstr * uint64(len(m.cores))
 	nextEpoch := epochEvery
 	tickEvery := uint64(2_000_000)
 	nextTick := tickEvery
+	quantum := m.cfg.SchedQuantum
+	if quantum <= 0 {
+		quantum = 64
+	}
 
+run:
 	for {
-		// Pick the lagging core that still has budget.
+		// One pass finds the lagging core and the runner-up it must stay
+		// ahead of. secondClock/secondID start past any real core, so a
+		// sole eligible core runs an unbounded-horizon quantum.
 		var c *coreState
 		coreID := -1
+		secondClock := ^uint64(0)
+		secondID := len(m.cores)
 		for i, cand := range m.cores {
 			if cand.instr >= target {
 				continue
 			}
 			if c == nil || cand.clock < c.clock {
+				if c != nil {
+					secondClock, secondID = c.clock, coreID
+				}
 				c, coreID = cand, i
+			} else if cand.clock < secondClock {
+				secondClock, secondID = cand.clock, i
 			}
 		}
 		if c == nil {
 			break
 		}
-		m.step(c, coreID)
-		if m.totalInstr >= nextEpoch {
-			m.boundary()
-			nextEpoch += epochEvery
-		}
-		if m.totalInstr >= nextTick {
-			m.scheme.Tick(m.Now())
-			nextTick += tickEvery
-		}
-		if stop != nil && stop(m.Now(), m.totalInstr) {
-			break
+		for steps := quantum; ; steps-- {
+			m.step(c, coreID)
+			resched := false
+			if m.totalInstr >= nextEpoch {
+				m.boundary()
+				nextEpoch += epochEvery
+				resched = true // all clocks may have been raised
+			}
+			if m.totalInstr >= nextTick {
+				m.scheme.Tick(m.Now())
+				nextTick += tickEvery
+			}
+			if stop != nil && stop(m.Now(), m.totalInstr) {
+				break run
+			}
+			if resched || steps <= 1 || c.instr >= target ||
+				c.clock > secondClock ||
+				(c.clock == secondClock && coreID > secondID) {
+				break
+			}
 		}
 	}
 	m.scheme.Tick(m.Now())
@@ -412,13 +471,17 @@ func (m *Machine) result() *Result {
 	return r
 }
 
-// Golden returns the end-of-epoch snapshot for epoch e (functional +
-// KeepGolden runs only).
+// Golden reconstructs the end-of-epoch snapshot for epoch e from the
+// reference image's history (functional + KeepGolden runs only). Epoch 0
+// is the pristine initial state.
 func (m *Machine) Golden(e mem.EpochID) (*mem.Image, bool) {
-	if int(e) >= len(m.golden) {
+	if !m.cfg.Functional || !m.cfg.KeepGolden {
 		return nil, false
 	}
-	return m.golden[e], true
+	if int(e) < 0 || int(e) > m.ref.Marks() {
+		return nil, false
+	}
+	return m.ref.At(int(e)), true
 }
 
 // Reference returns the running architectural reference image.
@@ -438,7 +501,7 @@ func (m *Machine) CrashAndRecover(t uint64) (mem.EpochID, error) {
 	}
 	want, ok := m.Golden(eid)
 	if !ok {
-		return eid, fmt.Errorf("sim: recovered to epoch %d with only %d epochs recorded", eid, len(m.golden)-1)
+		return eid, fmt.Errorf("sim: recovered to epoch %d with only %d epochs recorded", eid, m.ref.Marks())
 	}
 	if !img.Equal(want) {
 		return eid, fmt.Errorf("sim: recovery to epoch %d diverges on lines %v", eid, img.Diff(want, 5))

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counters is a named bag of monotonically increasing uint64 metrics.
@@ -21,12 +22,50 @@ import (
 // matrix across a pool), so the bag carries its own lock rather than
 // relying on callers to serialize.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]uint64
+	mu      sync.Mutex
+	m       map[string]uint64
+	handles map[string]*uint64
 }
 
 // NewCounters returns an empty counter bag.
 func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Handle is a live reference to a single counter. Hot paths bump it with
+// one atomic add, bypassing the bag's mutex and the per-call map hashing
+// of Add; the accumulated value is folded into the bag on every read
+// (Get, Snapshot, Names, Merge, String). A handle counter materializes in
+// the bag only once a nonzero total has been added — unlike Add, which
+// creates the name even at delta zero — so reserve handles for event
+// paths that always count at least one.
+type Handle struct{ p *uint64 }
+
+// Add increments the handle's counter.
+func (h Handle) Add(delta uint64) { atomic.AddUint64(h.p, delta) }
+
+// Handle returns the hot-path handle for name, creating it on first use.
+// Handles for the same name share one accumulator.
+func (c *Counters) Handle(name string) Handle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.handles == nil {
+		c.handles = make(map[string]*uint64)
+	}
+	p, ok := c.handles[name]
+	if !ok {
+		p = new(uint64)
+		c.handles[name] = p
+	}
+	return Handle{p: p}
+}
+
+// foldLocked drains pending handle increments into the map; mu is held.
+func (c *Counters) foldLocked() {
+	for k, p := range c.handles {
+		if v := atomic.SwapUint64(p, 0); v != 0 {
+			c.m[k] += v
+		}
+	}
+}
 
 // Add increments counter name by delta.
 func (c *Counters) Add(name string, delta uint64) {
@@ -35,9 +74,12 @@ func (c *Counters) Add(name string, delta uint64) {
 	c.mu.Unlock()
 }
 
-// Set overwrites counter name.
+// Set overwrites counter name, discarding any pending handle increments.
 func (c *Counters) Set(name string, v uint64) {
 	c.mu.Lock()
+	if p, ok := c.handles[name]; ok {
+		atomic.StoreUint64(p, 0)
+	}
 	c.m[name] = v
 	c.mu.Unlock()
 }
@@ -46,12 +88,14 @@ func (c *Counters) Set(name string, v uint64) {
 func (c *Counters) Get(name string) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.foldLocked()
 	return c.m[name]
 }
 
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
 	c.mu.Lock()
+	c.foldLocked()
 	out := make([]string, 0, len(c.m))
 	for k := range c.m {
 		out = append(out, k)
@@ -65,6 +109,7 @@ func (c *Counters) Names() []string {
 func (c *Counters) Snapshot() map[string]uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.foldLocked()
 	out := make(map[string]uint64, len(c.m))
 	for k, v := range c.m {
 		out[k] = v

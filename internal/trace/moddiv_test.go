@@ -1,0 +1,51 @@
+package trace
+
+import "testing"
+
+// TestModdivExact brute-forces the divide-free remainder against the
+// hardware `%` for every generator-relevant divisor shape: 1, powers of
+// two, 2^k±1, small odds, and large values, over adversarial and
+// pseudo-random operands covering the full uint64 range. The synthetic
+// generator's draw distribution — and therefore every simulated output
+// byte — rides on this being exact, not approximate.
+func TestModdivExact(t *testing.T) {
+	divisors := []int{
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+		100, 127, 128, 129, 1000, 4096, 1 << 20, (1 << 20) + 7, (1 << 20) - 1,
+		999_983, 1 << 30, (1 << 30) + 1, 1<<31 - 1,
+	}
+	xs := []uint64{
+		0, 1, 2, 3, 62, 63, 64, 65, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		1<<63 - 1, 1 << 63, 1<<63 + 1, ^uint64(0), ^uint64(0) - 1,
+	}
+	for _, n := range divisors {
+		d := newModdiv(n)
+		u := uint64(n)
+		check := func(x uint64) {
+			if got, want := d.mod(x), x%u; got != want {
+				t.Fatalf("moddiv(%d).mod(%d) = %d, want %d", n, x, got, want)
+			}
+		}
+		for _, x := range xs {
+			check(x)
+			// Operands straddling multiples of n hit the quotient
+			// rounding edges of the 2^128/n reciprocal.
+			check(x - x%u)
+			check(x - x%u + u - 1)
+		}
+		r := rng{state: 0x9e3779b97f4a7c15 ^ uint64(n)}
+		for i := 0; i < 20_000; i++ {
+			check(r.next())
+		}
+	}
+}
+
+// TestModdivClampsNonPositive mirrors rng.intn's n<1 clamp.
+func TestModdivClampsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		d := newModdiv(n)
+		if got := d.mod(12345); got != 0 {
+			t.Fatalf("newModdiv(%d).mod(12345) = %d, want 0 (clamped to n=1)", n, got)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"picl/internal/mem"
@@ -53,6 +54,50 @@ func (r *rng) intn(n int) int {
 		return 0
 	}
 	return int(r.next() % uint64(n))
+}
+
+// moddiv computes x % n for a fixed n >= 1 without the hardware divide
+// instruction, which costs tens of cycles and sits on the generator's
+// per-access path. Power-of-two divisors reduce to a mask; for the rest
+// it uses the fixed-point reciprocal remainder of Lemire, Kaser and
+// Steele ("Faster remainder by direct computation"): with
+// c = ceil(2^128/n), x mod n = floor(((c*x) mod 2^128) * n / 2^128),
+// exact for every uint64 x because 128 >= 64 + ceil(log2 n). The unit
+// tests exhaustively cross-check it against the % operator; generators
+// must produce bit-identical streams either way.
+type moddiv struct {
+	n        uint64
+	mask     uint64 // n-1 when n is a power of two
+	pow2     bool
+	cHi, cLo uint64 // ceil(2^128/n), non-pow2 only
+}
+
+func newModdiv(n int) moddiv {
+	if n < 1 {
+		n = 1
+	}
+	u := uint64(n)
+	if u&(u-1) == 0 {
+		return moddiv{n: u, mask: u - 1, pow2: true}
+	}
+	// floor(2^128/u) via two-limb long division, then +1 for the ceiling
+	// (u is not a power of two, so it never divides 2^128 evenly).
+	qHi, r := bits.Div64(1, 0, u)
+	qLo, _ := bits.Div64(r, 0, u)
+	cLo, carry := bits.Add64(qLo, 1, 0)
+	return moddiv{n: u, cHi: qHi + carry, cLo: cLo}
+}
+
+func (m *moddiv) mod(x uint64) uint64 {
+	if m.pow2 {
+		return x & m.mask
+	}
+	hi1, lo1 := bits.Mul64(m.cLo, x)
+	lbHi := hi1 + m.cHi*x // (c*x) mod 2^128, low limb is lo1
+	hi2, _ := bits.Mul64(lo1, m.n)
+	h3, l3 := bits.Mul64(lbHi, m.n)
+	_, carry := bits.Add64(l3, hi2, 0)
+	return h3 + carry
 }
 
 // float returns a uniform value in [0, 1).
@@ -109,7 +154,25 @@ type Synthetic struct {
 	r       rng
 	streams []uint64
 	gapMean float64
+
+	// Per-access constants hoisted out of Next. The selection and write
+	// thresholds are the profile probabilities pre-scaled by 2^53 so Next
+	// can compare the raw 53-bit PRNG draw directly: both float() (divide
+	// by 2^53) and this scaling are exact power-of-two exponent shifts,
+	// so every comparison resolves identically to the unscaled form.
+	gapN                  int
+	streamT, coldT, warmT float64
+	writeT, streamWriteT  float64
+	hotB, warmB, coldB    mem.LineAddr
+	hotN, warmN, coldN    int
+	// Divide-free x % n helpers for the fixed region sizes above (each
+	// yields exactly intn's value for the same draw).
+	gapD, streamD      moddiv
+	hotD, warmD, coldD moddiv
 }
+
+// scale53 converts a probability into the raw-draw domain of float().
+const scale53 = 1 << 53
 
 // NewSynthetic builds a generator over profile p with its address space
 // starting at base (cores get disjoint bases) and deterministic seed.
@@ -126,6 +189,21 @@ func NewSynthetic(p Profile, base mem.LineAddr, seed uint64) *Synthetic {
 	}
 	g.gapMean = (1 - p.MemFrac) / p.MemFrac
 	g.p = p
+	g.gapN = int(2*g.gapMean) + 1
+	g.streamT = p.PStream * scale53
+	g.coldT = (p.PStream + p.PCold) * scale53
+	g.warmT = (p.PStream + p.PCold + p.PWarm) * scale53
+	g.writeT = p.WriteFrac * scale53
+	g.streamWriteT = p.StreamWriteFrac * scale53
+	g.hotB, g.warmB, g.coldB = g.hotBase(), g.warmBase(), g.coldBase()
+	g.hotN = max(p.HotLines, 1)
+	g.warmN = max(p.WarmLines, 1)
+	g.coldN = max(p.ColdLines, 1)
+	g.gapD = newModdiv(g.gapN)
+	g.streamD = newModdiv(len(g.streams))
+	g.hotD = newModdiv(g.hotN)
+	g.warmD = newModdiv(g.warmN)
+	g.coldD = newModdiv(g.coldN)
 	return g
 }
 
@@ -153,22 +231,22 @@ func (g *Synthetic) Footprint() int { return g.p.HotLines + g.p.WarmLines + g.p.
 func (g *Synthetic) Next() Access {
 	// Gap: uniform in [0, 2*mean] keeps the configured memory fraction
 	// with cheap arithmetic and bounded bursts.
-	gap := uint32(g.r.intn(int(2*g.gapMean) + 1))
-	u := g.r.float()
+	gap := uint32(g.gapD.mod(g.r.next()))
+	u := float64(g.r.next() >> 11)
 	var line mem.LineAddr
-	write := g.r.float() < g.p.WriteFrac
+	write := float64(g.r.next()>>11) < g.writeT
 	switch {
-	case u < g.p.PStream:
-		s := g.r.intn(len(g.streams))
+	case u < g.streamT:
+		s := g.streamD.mod(g.r.next())
 		g.streams[s]++
-		line = g.coldBase() + mem.LineAddr(g.streams[s]%uint64(max(g.p.ColdLines, 1)))
-		write = g.r.float() < g.p.StreamWriteFrac
-	case u < g.p.PStream+g.p.PCold:
-		line = g.coldBase() + mem.LineAddr(g.r.intn(max(g.p.ColdLines, 1)))
-	case u < g.p.PStream+g.p.PCold+g.p.PWarm:
-		line = g.warmBase() + mem.LineAddr(g.r.intn(max(g.p.WarmLines, 1)))
+		line = g.coldB + mem.LineAddr(g.coldD.mod(g.streams[s]))
+		write = float64(g.r.next()>>11) < g.streamWriteT
+	case u < g.coldT:
+		line = g.coldB + mem.LineAddr(g.coldD.mod(g.r.next()))
+	case u < g.warmT:
+		line = g.warmB + mem.LineAddr(g.warmD.mod(g.r.next()))
 	default:
-		line = g.hotBase() + mem.LineAddr(g.r.intn(max(g.p.HotLines, 1)))
+		line = g.hotB + mem.LineAddr(g.hotD.mod(g.r.next()))
 	}
 	return Access{Gap: gap, Write: write, Line: line}
 }
