@@ -1,17 +1,29 @@
-.PHONY: ci vet lint build test race bench bench-check bench-test
+.PHONY: ci vet fmt-check tidy-check lint build test race cover cover-update bench bench-check bench-test
 
-# ci is the tier-1 gate: vet, the project-specific invariant linter,
-# build everything, the full test suite under the race detector
-# (the concurrency contract in internal/sim's package doc is enforced
-# here, not just documented), then the short-mode perf gate. picl-lint
+# ci is the tier-1 gate: vet, formatting and go.mod hygiene, the
+# project-specific invariant linter, build everything, the full test
+# suite under the race detector (the concurrency contract in
+# internal/sim's package doc is enforced here, not just documented),
+# per-package coverage floors, then the short-mode perf gate. picl-lint
 # exits nonzero on any unsuppressed diagnostic, so a determinism/epoch/
 # lock violation fails the build exactly like a vet error, and
 # bench-check fails it on a throughput or output-byte regression
 # against the committed BENCH_PR4.json.
-ci: vet lint build race bench-check
+ci: vet fmt-check tidy-check lint build race cover bench-check
 
 vet:
 	go vet ./...
+
+# fmt-check fails on any file gofmt would rewrite (CI never reformats;
+# it only refuses).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# tidy-check fails if go.mod/go.sum are not tidy (the module is
+# stdlib-only; this keeps it that way visibly).
+tidy-check:
+	go mod tidy -diff
 
 # lint runs picl-lint (see internal/lint and DESIGN.md "Static
 # analysis") over every non-test package in the module.
@@ -26,6 +38,18 @@ test:
 
 race:
 	go test -race ./...
+
+# cover runs the suite in atomic coverage mode and gates the
+# per-package statement coverage against the floors in COVER_FLOOR.txt.
+# Re-record deliberately (after adding tests or packages) with
+# `make cover-update`; never lower a floor just to pass.
+cover:
+	go test -covermode=atomic -coverprofile=cover.out ./...
+	go run ./cmd/picl-cover -profile cover.out -floors COVER_FLOOR.txt
+
+cover-update:
+	go test -covermode=atomic -coverprofile=cover.out ./...
+	go run ./cmd/picl-cover -profile cover.out -floors COVER_FLOOR.txt -update
 
 # bench re-records the perf baseline: every substrate microbenchmark at
 # full benchtime plus a short-benchtime section for CI, instr/sec for

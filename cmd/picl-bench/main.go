@@ -95,6 +95,8 @@ var experiments = []experiment{
 		tableExp(func(r *exp.Runner, b []string) (*stats.Table, error) { return r.RecoveryLatency(b) })},
 	{"r3", "Availability and daily compute loss (§IV-C)",
 		tableExp(func(r *exp.Runner, b []string) (*stats.Table, error) { return r.AvailabilityReport(b) })},
+	{"elat", "Epoch latency: commit-to-persist gap distribution (PiCL)",
+		tableExp(func(r *exp.Runner, b []string) (*stats.Table, error) { return r.EpochLatency(b) })},
 }
 
 func main() {

@@ -1,0 +1,191 @@
+// Command picl-cover turns a Go cover profile into a per-package
+// statement-coverage report and gates it against checked-in floors, so
+// `make ci` fails when a change quietly drops a package's test coverage.
+//
+// Usage:
+//
+//	go test -covermode=atomic -coverprofile=cover.out ./...
+//	picl-cover -profile cover.out                  # gate against COVER_FLOOR.txt
+//	picl-cover -profile cover.out -update          # re-record the floors
+//
+// Floors are recorded a couple of points below the measured value (see
+// -margin): coverage moves a little between runs (randomized tests,
+// testing/quick), and the gate exists to catch real regressions, not
+// noise. Packages absent from the floor file — new packages, packages
+// with no statements — are reported but never fail the gate until a
+// floor is recorded for them.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (p pkgCov) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "cover.out", "cover profile produced by go test -coverprofile")
+		floors  = flag.String("floors", "COVER_FLOOR.txt", "per-package coverage floor file")
+		update  = flag.Bool("update", false, "re-record the floor file from this profile and exit")
+		margin  = flag.Float64("margin", 2.0, "points below measured coverage to set floors at with -update")
+	)
+	flag.Parse()
+
+	cov, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs := make([]string, 0, len(cov))
+	for p := range cov {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	if *update {
+		var b strings.Builder
+		b.WriteString("# Per-package statement-coverage floors, gated by `make cover`.\n")
+		b.WriteString("# Recorded by `picl-cover -update` at measured coverage minus the\n")
+		b.WriteString("# margin; raise a floor deliberately, never lower one to pass CI.\n")
+		for _, p := range pkgs {
+			floor := math.Floor(cov[p].percent() - *margin) // whole points absorb run-to-run noise
+			if floor < 0 {
+				floor = 0
+			}
+			fmt.Fprintf(&b, "%s %.1f\n", p, floor)
+		}
+		if err := os.WriteFile(*floors, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("picl-cover: recorded %d package floors to %s\n", len(pkgs), *floors)
+		return
+	}
+
+	want, err := readFloors(*floors)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, p := range pkgs {
+		got := cov[p].percent()
+		floor, gated := want[p]
+		switch {
+		case !gated:
+			fmt.Printf("%-40s %6.1f%%  (no floor recorded)\n", p, got)
+		case got < floor:
+			fmt.Printf("%-40s %6.1f%%  BELOW floor %.1f%%\n", p, got, floor)
+			failed = true
+		default:
+			fmt.Printf("%-40s %6.1f%%  (floor %.1f%%)\n", p, got, floor)
+		}
+	}
+	for p := range want {
+		if _, ok := cov[p]; !ok {
+			fmt.Printf("%-40s    gone  had floor %.1f%% but is absent from the profile\n", p, want[p])
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "picl-cover: coverage below recorded floors (re-record deliberately with -update)")
+		os.Exit(1)
+	}
+}
+
+// readProfile parses a cover profile into per-package statement counts.
+// Profile lines look like:
+//
+//	picl/internal/obs/obs.go:109.28,111.2 1 3
+//
+// i.e. file:startLine.col,endLine.col numStatements hitCount.
+func readProfile(name string) (map[string]pkgCov, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]pkgCov{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("picl-cover: malformed profile line %q", line)
+		}
+		colon := strings.LastIndexByte(fields[0], ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("picl-cover: malformed location %q", fields[0])
+		}
+		pkg := path.Dir(fields[0][:colon])
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("picl-cover: malformed counts in %q", line)
+		}
+		c := out[pkg]
+		c.total += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+		out[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("picl-cover: %s contains no coverage blocks", name)
+	}
+	return out, nil
+}
+
+// readFloors parses the floor file: `<package> <percent>` lines,
+// #-comments and blanks ignored.
+func readFloors(name string) (map[string]float64, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("picl-cover: malformed floor line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("picl-cover: malformed floor %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}

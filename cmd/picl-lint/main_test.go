@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func lintBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "picl-lint-smoke")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "picl-lint")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+func runIn(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(lintBin(t), args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// writeModule lays out a throwaway module named picl (the analyzers'
+// scopes key off picl/internal/... import paths) with one source file in
+// internal/sim.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module picl\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkg, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSmokeRules(t *testing.T) {
+	out, _, code := runIn(t, ".", "-rules")
+	if code != 0 {
+		t.Fatalf("-rules exit %d", code)
+	}
+	for _, rule := range []string{"determinism", "eidcmp", "lockdiscipline", "errwrap", "floateq", "obshook"} {
+		if !strings.Contains(out, rule) {
+			t.Fatalf("-rules missing %q:\n%s", rule, out)
+		}
+	}
+}
+
+func TestSmokeViolationExits1(t *testing.T) {
+	dir := writeModule(t, `package sim
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+`)
+	out, stderr, code := runIn(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out+stderr, "determinism") {
+		t.Fatalf("diagnostic missing rule name:\nstdout: %s\nstderr: %s", out, stderr)
+	}
+}
+
+func TestSmokeCleanExits0(t *testing.T) {
+	dir := writeModule(t, `package sim
+
+func Cycles(n uint64) uint64 { return 2 * n }
+`)
+	out, stderr, code := runIn(t, dir)
+	if code != 0 {
+		t.Fatalf("clean module exit = %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+}

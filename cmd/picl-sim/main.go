@@ -9,7 +9,9 @@
 //	picl-sim -scheme journal -bench mcf -epochs 16
 //	picl-sim -scheme picl -mix 2            # Table V mix W2, 8 cores
 //	picl-sim -record gcc.trace -n 1000000   # dump the synthetic stream
-//	picl-sim -trace mine.trace              # replay a recorded trace
+//	picl-sim -replay mine.trace             # replay a recorded trace
+//	picl-sim -trace run.json                # Chrome trace_event export (Perfetto)
+//	picl-sim -metrics                       # Prometheus text metrics on stdout
 //	picl-sim -list
 package main
 
@@ -20,23 +22,27 @@ import (
 
 	"picl/internal/exp"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/sim"
 	"picl/internal/trace"
 )
 
 func main() {
 	var (
-		scheme    = flag.String("scheme", "picl", "scheme: ideal|journal|shadow|frm|thynvm|picl")
-		bench     = flag.String("bench", "gcc", "SPEC2006 benchmark name")
-		mix       = flag.Int("mix", -1, "run Table V multiprogram mix W<n> instead of -bench")
-		epochs    = flag.Int("epochs", 8, "run length in epochs")
-		factor    = flag.Float64("factor", 64, "scale-down factor (1 = full paper scale)")
-		traceFile = flag.String("trace", "", "replay a recorded trace file instead of -bench")
-		record    = flag.String("record", "", "dump -bench's synthetic stream to this trace file and exit")
-		recordN   = flag.Int("n", 1_000_000, "accesses to dump with -record")
-		timeline  = flag.Bool("timeline", false, "print per-epoch statistics")
-		jobs      = flag.Int("j", 0, "simulation workers (0 = NumCPU; the scheme run and its ideal baseline parallelize)")
-		list      = flag.Bool("list", false, "list benchmarks and schemes")
+		scheme   = flag.String("scheme", "picl", "scheme: ideal|journal|shadow|frm|thynvm|picl")
+		bench    = flag.String("bench", "gcc", "SPEC2006 benchmark name")
+		mix      = flag.Int("mix", -1, "run Table V multiprogram mix W<n> instead of -bench")
+		epochs   = flag.Int("epochs", 8, "run length in epochs")
+		factor   = flag.Float64("factor", 64, "scale-down factor (1 = full paper scale)")
+		replay   = flag.String("replay", "", "replay a recorded trace file instead of -bench")
+		record   = flag.String("record", "", "dump -bench's synthetic stream to this trace file and exit")
+		recordN  = flag.Int("n", 1_000_000, "accesses to dump with -record")
+		traceOut = flag.String("trace", "", "write the run's event stream as Chrome trace_event JSON (load at ui.perfetto.dev)")
+		traceCap = flag.Int("trace-cap", 1<<18, "event recorder capacity for -trace (keeps the most recent events)")
+		metrics  = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format instead of the summary")
+		timeline = flag.Bool("timeline", false, "print per-epoch statistics")
+		jobs     = flag.Int("j", 0, "simulation workers (0 = NumCPU; the scheme run and its ideal baseline parallelize)")
+		list     = flag.Bool("list", false, "list benchmarks and schemes")
 	)
 	flag.Parse()
 
@@ -91,31 +97,61 @@ func main() {
 		benches = mixes[*mix]
 	}
 
+	var opts []exp.Opt
+	tcap := 0
+	if *traceOut != "" {
+		tcap = *traceCap
+		opts = append(opts, exp.WithTraceCap(tcap))
+	}
+
 	var res *sim.Result
 	var err error
 	switch {
-	case *traceFile != "":
-		res, err = runTraceFile(*traceFile, *scheme, scale)
-		benches = []string{*traceFile}
+	case *replay != "":
+		res, err = runTraceFile(*replay, *scheme, scale, tcap)
+		benches = []string{*replay}
 	case *timeline:
-		res, err = runTimeline(*scheme, benches[0], scale)
+		res, err = runTimeline(*scheme, benches[0], scale, tcap)
 	case *scheme != "ideal":
 		// Fetch the scheme run and its ideal baseline (used for the
 		// normalized summary below) through the worker pool together.
 		var both []*sim.Result
 		both, err = runner.RunAll([]exp.Req{
-			{Scheme: *scheme, Benches: benches},
+			{Scheme: *scheme, Benches: benches, Opts: opts},
 			{Scheme: "ideal", Benches: benches},
 		})
 		if err == nil {
 			res = both[0]
 		}
 	default:
-		res, err = runner.Run(*scheme, benches)
+		res, err = runner.Run(*scheme, benches, opts...)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, res.Events); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events to %s (%d overwritten; raise -trace-cap to keep more)\n",
+			len(res.Events), *traceOut, res.EventsDropped)
+	}
+
+	if *metrics {
+		fmt.Print(res.PromText())
+		return
 	}
 
 	if *timeline {
@@ -148,7 +184,7 @@ func main() {
 	fmt.Printf("scheme counters:\n%s", res.Counters.String())
 
 	// Normalized-to-ideal summary.
-	if *traceFile == "" && *scheme != "ideal" {
+	if *replay == "" && *scheme != "ideal" {
 		if ideal, err := runner.Run("ideal", benches); err == nil {
 			fmt.Printf("normalized execution time vs ideal: %.3fx\n",
 				float64(res.Cycles)/float64(ideal.Cycles))
@@ -157,7 +193,7 @@ func main() {
 }
 
 // runTimeline runs one benchmark with per-epoch sampling enabled.
-func runTimeline(scheme, bench string, scale exp.Scale) (*sim.Result, error) {
+func runTimeline(scheme, bench string, scale exp.Scale, traceCap int) (*sim.Result, error) {
 	p, err := trace.ProfileFor(bench)
 	if err != nil {
 		return nil, err
@@ -171,6 +207,7 @@ func runTimeline(scheme, bench string, scale exp.Scale) (*sim.Result, error) {
 		EpochInstr:   scale.EpochInstr,
 		InstrPerCore: uint64(scale.Epochs) * scale.EpochInstr,
 		Timeline:     true,
+		TraceCap:     traceCap,
 	})
 	if err != nil {
 		return nil, err
@@ -179,7 +216,7 @@ func runTimeline(scheme, bench string, scale exp.Scale) (*sim.Result, error) {
 }
 
 // runTraceFile replays a recorded trace under the given scheme.
-func runTraceFile(path, scheme string, scale exp.Scale) (*sim.Result, error) {
+func runTraceFile(path, scheme string, scale exp.Scale, traceCap int) (*sim.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -197,6 +234,7 @@ func runTraceFile(path, scheme string, scale exp.Scale) (*sim.Result, error) {
 		Hierarchy:    &h,
 		EpochInstr:   scale.EpochInstr,
 		InstrPerCore: uint64(scale.Epochs) * scale.EpochInstr,
+		TraceCap:     traceCap,
 	})
 	if err != nil {
 		return nil, err

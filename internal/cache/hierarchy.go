@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"picl/internal/mem"
+	"picl/internal/obs"
 )
 
 // Backend is the persistent-memory subsystem below the LLC. Each
@@ -67,6 +68,8 @@ type Hierarchy struct {
 	llc      *Cache
 	backend  Backend
 	observer StoreObserver
+	// tr receives eviction events when tracing is enabled; nil otherwise.
+	tr obs.Tracer
 }
 
 // NewHierarchy builds the hierarchy. backend must be non-nil; observer
@@ -106,6 +109,9 @@ func (h *Hierarchy) SetObserver(o StoreObserver) { h.observer = o }
 
 // SetBackend installs the backend after construction.
 func (h *Hierarchy) SetBackend(b Backend) { h.backend = b }
+
+// SetTracer installs an event tracer (nil disables tracing).
+func (h *Hierarchy) SetTracer(t obs.Tracer) { h.tr = t }
 
 // snoopPrivate extracts the freshest copy of an LLC line from the owner's
 // private caches, invalidating them if inval is true or merely cleaning
@@ -161,6 +167,11 @@ func (h *Hierarchy) evictLLCVictim(now uint64, v *Line) uint64 {
 		}
 	}
 	if dirty {
+		if h.tr != nil {
+			// The eviction-driven log-write trigger: a dirty line leaves
+			// the LLC and the scheme below must make it crash-consistent.
+			h.tr.Event(obs.Event{Kind: obs.KindLLCEvict, Time: now, Epoch: eid, Addr: v.Addr})
+		}
 		return h.backend.EvictDirty(now, v.Addr, data, eid)
 	}
 	return now

@@ -18,6 +18,7 @@ import (
 	"picl/internal/cache"
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/stats"
 )
 
@@ -59,6 +60,11 @@ type Scheme interface {
 	// Counters exposes scheme-specific metrics (log bytes, flushes, ...).
 	Counters() *stats.Counters
 
+	// SetTracer installs an event tracer (nil disables tracing — the
+	// default). Install before the run starts; schemes read the tracer
+	// from unsynchronized hot paths.
+	SetTracer(obs.Tracer)
+
 	// SetCommitHook registers a callback invoked at the instant each
 	// epoch commits — including forced early commits that happen inside
 	// an eviction (translation-table overflow). The simulation engine
@@ -90,6 +96,11 @@ type Base struct {
 	ForcedCommits uint64
 
 	C *stats.Counters
+
+	// Tr receives scheme events when tracing is enabled; nil otherwise.
+	// Every emit site guards with `if Tr != nil` so the disabled path is
+	// one branch and zero allocations.
+	Tr obs.Tracer
 
 	commitHook func()
 	inflight   []inflightOp
@@ -133,6 +144,9 @@ func (b *Base) Commits() uint64 { return b.NCommits }
 
 // SetCommitHook implements Scheme.
 func (b *Base) SetCommitHook(f func()) { b.commitHook = f }
+
+// SetTracer implements Scheme.
+func (b *Base) SetTracer(t obs.Tracer) { b.Tr = t }
 
 // NoteCommit records an epoch commit and fires the commit hook. Every
 // scheme calls this exactly once per commit (nominal or forced), at the

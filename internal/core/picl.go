@@ -27,6 +27,7 @@ import (
 	"picl/internal/checkpoint"
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/stats"
 	"picl/internal/undolog"
 )
@@ -142,6 +143,13 @@ func (p *PiCL) OnStore(now uint64, l mem.LineAddr, old mem.Word, oldEID mem.Epoc
 		stall = p.addUndo(now, undolog.Entry{
 			Line: l, ValidFrom: oldEID, ValidTill: p.System, Old: old,
 		})
+	default:
+		// Same-epoch store to an already-modified line: the existing undo
+		// entry covers it, nothing is logged (the coalescing that makes
+		// cache-driven logging cheap).
+		if p.Tr != nil {
+			p.Tr.Event(obs.Event{Kind: obs.KindUndoCoalesce, Time: now, Epoch: p.System, Addr: l})
+		}
 	}
 	return p.System, stall
 }
@@ -150,6 +158,9 @@ func (p *PiCL) OnStore(now uint64, l mem.LineAddr, old mem.Word, oldEID mem.Epoc
 // sequential block write when full.
 func (p *PiCL) addUndo(now uint64, e undolog.Entry) uint64 {
 	p.cUndo.Add(1)
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindUndoInsert, Time: now, Epoch: e.ValidFrom, Addr: e.Line, A: uint64(e.ValidTill)})
+	}
 	p.filter.Insert(e.Line)
 	if p.buf.Add(e) {
 		return p.flushBuffer(now)
@@ -164,6 +175,9 @@ func (p *PiCL) addUndo(now uint64, e undolog.Entry) uint64 {
 func (p *PiCL) flushBuffer(now uint64) uint64 {
 	entries := p.buf.Drain()
 	p.filter.Clear()
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindBloomClear, Time: now, Epoch: p.System})
+	}
 	if len(entries) == 0 {
 		return now
 	}
@@ -174,8 +188,12 @@ func (p *PiCL) flushBuffer(now uint64) uint64 {
 	if p.Functional {
 		undo = func() { p.log.TruncateTo(watermark - 1) }
 	}
-	p.Persist(stall, nvm.OpSeqBlockWrite, undolog.BlockBytes, undo)
+	done := p.Persist(stall, nvm.OpSeqBlockWrite, undolog.BlockBytes, undo)
 	p.cBufFlush.Add(1)
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindBufFlush, Time: stall, Dur: done - stall,
+			Epoch: p.System, A: uint64(len(entries)), B: undolog.BlockBytes})
+	}
 	return stall
 }
 
@@ -186,12 +204,18 @@ func (p *PiCL) flushBuffer(now uint64) uint64 {
 func (p *PiCL) EvictDirty(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID) uint64 {
 	stall := now
 	if p.filter.MayContain(l) {
+		if p.Tr != nil {
+			p.Tr.Event(obs.Event{Kind: obs.KindDepFlush, Time: now, Epoch: p.System, Addr: l})
+		}
 		stall = p.flushBuffer(now)
 		p.cDepFlush.Add(1)
 	}
 	stall2 := p.MaybeStall(stall)
 	p.PersistLineWrite(stall2, nvm.OpWriteback, l, data)
 	p.cEvictWB.Add(1)
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindEvictWB, Time: stall2, Epoch: eid, Addr: l})
+	}
 	return stall2
 }
 
@@ -206,6 +230,10 @@ func (p *PiCL) EpochBoundary(now uint64) uint64 {
 	p.NoteCommit()
 	committed := p.System
 	p.System++
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindEpochCommit, Time: now, Epoch: committed})
+		p.Tr.Event(obs.Event{Kind: obs.KindEpochOpen, Time: now, Epoch: p.System})
+	}
 
 	if committed.After(mem.EpochID(p.cfg.ACSGap)) {
 		p.runACS(now, committed.Minus(uint64(p.cfg.ACSGap)))
@@ -218,6 +246,9 @@ func (p *PiCL) EpochBoundary(now uint64) uint64 {
 		resume = p.pending[0].done
 		p.Tick(resume)
 		p.C.Add("tag_space_stalls", 1)
+	}
+	if resume > now && p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindTagStall, Time: now, Dur: resume - now, Epoch: p.System})
 	}
 	return resume
 }
@@ -234,6 +265,9 @@ func (p *PiCL) runACS(now uint64, target mem.EpochID) {
 		return
 	}
 	p.C.Add("acs_runs", 1)
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindACSStart, Time: now, Epoch: target})
+	}
 	p.flushBuffer(now)
 
 	lines := p.Hier.FlushDirty(func(_ mem.LineAddr, eid mem.EpochID) bool {
@@ -255,6 +289,10 @@ func (p *PiCL) runACS(now uint64, target mem.EpochID) {
 	}
 	done := p.Persist(now, nvm.OpRandLogWrite, 8, undo)
 	p.pending = append(p.pending, persistRec{target: target, done: done})
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindACSDone, Time: now, Dur: done - now,
+			Epoch: target, A: uint64(len(lines))})
+	}
 }
 
 // ForcePersist forcefully ends the current epoch and conducts a bulk ACS
@@ -269,6 +307,11 @@ func (p *PiCL) ForcePersist(now uint64) uint64 {
 	committed := p.System
 	p.System++
 	p.C.Add("bulk_acs", 1)
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindEpochCommit, Time: now, Epoch: committed, A: 1})
+		p.Tr.Event(obs.Event{Kind: obs.KindEpochOpen, Time: now, Epoch: p.System})
+		p.Tr.Event(obs.Event{Kind: obs.KindBulkACS, Time: now, Epoch: committed})
+	}
 	p.runACS(now, committed)
 	resume := now
 	for len(p.pending) > 0 {
@@ -286,6 +329,11 @@ func (p *PiCL) ForcePersist(now uint64) uint64 {
 func (p *PiCL) Tick(now uint64) {
 	for len(p.pending) > 0 && p.pending[0].done <= now {
 		p.Persisted = p.pending[0].target
+		if p.Tr != nil {
+			// Stamped with the marker's completion time, not now: Tick may
+			// observe the completion late, but durability happened at done.
+			p.Tr.Event(obs.Event{Kind: obs.KindEpochPersist, Time: p.pending[0].done, Epoch: p.Persisted})
+		}
 		p.pending = p.pending[1:]
 		p.log.GC(p.Persisted.Minus(uint64(p.cfg.RetainEpochs)))
 	}
@@ -302,6 +350,10 @@ func (p *PiCL) Recover() (*mem.Image, mem.EpochID, error) {
 	applied, scanned := p.log.ApplyTo(img, p.durableMarker)
 	p.C.Add("recovery_entries_applied", uint64(applied))
 	p.C.Add("recovery_blocks_scanned", uint64(scanned))
+	if p.Tr != nil {
+		p.Tr.Event(obs.Event{Kind: obs.KindRecover, Epoch: p.durableMarker,
+			A: uint64(applied), B: uint64(scanned)})
+	}
 	return img, p.durableMarker, nil
 }
 

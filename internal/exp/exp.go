@@ -34,6 +34,7 @@ import (
 	"picl/internal/core"
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/sim"
 	"picl/internal/stats"
 	"picl/internal/trace"
@@ -99,7 +100,10 @@ func (s Scale) Params() baselines.Params {
 // Schemes is the presentation order of the paper's figures.
 var Schemes = []string{"journal", "shadow", "frm", "thynvm", "picl"}
 
-// RunKey identifies one memoized simulation.
+// RunKey identifies one memoized simulation. TraceCap/TraceMask are
+// part of the key: a traced run carries its event stream in the result,
+// so it must not be conflated with (or satisfied by) an untraced run of
+// the same cell.
 type RunKey struct {
 	Scheme     string
 	Bench      string
@@ -110,6 +114,8 @@ type RunKey struct {
 	NVMName    string
 	ACSGap     int
 	BufEntries int
+	TraceCap   int
+	TraceMask  obs.Mask
 }
 
 // Runner executes and memoizes simulations at one scale. Run and RunAll
@@ -143,11 +149,15 @@ type Runner struct {
 }
 
 // flight is one single-flight memo cell: the first goroutine to claim a
-// key simulates and closes ready; everyone else waits on it.
+// key simulates and closes ready; everyone else waits on it. RunAll
+// pre-registers unstarted flights so the progress total is exact from
+// the first completed cell; the first Run to arrive claims (starts) the
+// cell and simulates it.
 type flight struct {
-	ready chan struct{}
-	res   *sim.Result
-	err   error
+	ready   chan struct{}
+	res     *sim.Result
+	err     error
+	started bool
 }
 
 // NewRunner builds a runner for the given scale.
@@ -190,6 +200,20 @@ func WithEpochInstr(n uint64) Opt {
 // WithEpochs overrides the run length in epochs.
 func WithEpochs(n int) Opt {
 	return func(c *sim.Config) { c.InstrPerCore = uint64(n) * c.EpochInstr }
+}
+
+// WithTraceCap attaches an event-trace ring of the given capacity to the
+// run (Result.Events). Traced cells memoize separately from untraced
+// ones — the capacity is part of the RunKey.
+func WithTraceCap(n int) Opt {
+	return func(c *sim.Config) { c.TraceCap = n }
+}
+
+// WithTraceMask restricts ring recording to the given kinds; combine
+// with WithTraceCap to keep low-rate lifecycle events from being
+// overwritten by per-op NVM traffic on long runs.
+func WithTraceMask(m obs.Mask) Opt {
+	return func(c *sim.Config) { c.TraceMask = m }
 }
 
 // buildConfig assembles the simulation config for one single- or
@@ -237,6 +261,8 @@ func keyFor(scheme string, benches []string, cfg *sim.Config) RunKey {
 		LLCSize:    cfg.Hierarchy.LLC.Size,
 		ACSGap:     cfg.PiCL.ACSGap,
 		BufEntries: cfg.PiCL.BufferEntries,
+		TraceCap:   cfg.TraceCap,
+		TraceMask:  cfg.TraceMask,
 	}
 	if cfg.NVM != nil {
 		key.NVMName = cfg.NVM.Name
@@ -255,14 +281,18 @@ func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result,
 	key := keyFor(scheme, benches, &cfg)
 
 	r.mu.Lock()
-	if f, ok := r.memo[key]; ok {
+	f, ok := r.memo[key]
+	if ok && f.started {
 		r.mu.Unlock()
 		<-f.ready
 		return f.res, f.err
 	}
-	f := &flight{ready: make(chan struct{})}
-	r.memo[key] = f
-	r.total++
+	if !ok {
+		f = &flight{ready: make(chan struct{})}
+		r.memo[key] = f
+		r.total++
+	}
+	f.started = true
 	r.inflight++
 	r.mu.Unlock()
 
@@ -315,6 +345,24 @@ type Req struct {
 // first error aborts scheduling of cells not yet started and is
 // returned; results of cells that did complete remain memoized.
 func (r *Runner) RunAll(reqs []Req) ([]*sim.Result, error) {
+	// Register every fresh cell before any worker starts, so progress
+	// lines report the true batch total from the first completion
+	// instead of racing the feed loop. Workers claim the unstarted
+	// flights through Run as usual.
+	for _, req := range reqs {
+		cfg, err := r.buildConfig(req.Scheme, req.Benches, req.Opts...)
+		if err != nil {
+			continue // Run will surface the same error in order
+		}
+		key := keyFor(req.Scheme, req.Benches, &cfg)
+		r.mu.Lock()
+		if _, ok := r.memo[key]; !ok {
+			r.memo[key] = &flight{ready: make(chan struct{})}
+			r.total++
+		}
+		r.mu.Unlock()
+	}
+
 	results := make([]*sim.Result, len(reqs))
 	errs := make([]error, len(reqs))
 	idx := make(chan int)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"picl/internal/nvm"
+	"picl/internal/obs"
 )
 
 // testScale is small enough for unit tests: miniature hierarchy, two
@@ -417,5 +418,76 @@ func TestWorkloadCalibrationClasses(t *testing.T) {
 	if wbPerKInstr("lbm") < 4*wbPerKInstr("povray") {
 		t.Errorf("lbm write traffic %.2f/kinstr not >> povray %.2f/kinstr",
 			wbPerKInstr("lbm"), wbPerKInstr("povray"))
+	}
+}
+
+// TestEpochLatencyTable: the commit-to-persist table has one ordered row
+// per benchmark, and traced cells memoize separately from untraced ones
+// (an untraced MustRun of the same cell must not inherit the events).
+func TestEpochLatencyTable(t *testing.T) {
+	// The default 2-epoch test scale ends before any epoch persists (the
+	// ACS lag spans the whole run); use enough epochs to observe gaps.
+	s := testScale()
+	s.Epochs = 8
+	r := NewRunner(s)
+	tb, err := r.EpochLatency([]string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 1 {
+		t.Fatalf("rows = %d, want 1", tb.Rows())
+	}
+	label, vals := tb.Row(0)
+	if label != "gcc" || len(vals) != 6 {
+		t.Fatalf("row = %q %v", label, vals)
+	}
+	epochs, min, p50, p90, max, mean := vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+	if epochs < 1 {
+		t.Fatalf("no commit-to-persist gaps recovered from the trace")
+	}
+	if !(min > 0 && min <= p50 && p50 <= p90 && p90 <= max) {
+		t.Fatalf("quantiles out of order: %v", vals)
+	}
+	if mean < min || mean > max {
+		t.Fatalf("mean %v outside [min,max]", mean)
+	}
+	plain := r.MustRun("picl", []string{"gcc"})
+	if len(plain.Events) != 0 {
+		t.Fatalf("untraced run returned %d events; RunKey must separate traced cells", len(plain.Events))
+	}
+}
+
+// TestWithTraceCapEvents: a traced run carries an event stream in the
+// result, and the stream is identical between two independent runners
+// (events carry simulated time only — no wall-clock contamination).
+func TestWithTraceCapEvents(t *testing.T) {
+	run := func() []obs.Event {
+		r := NewRunner(testScale())
+		res := r.MustRun("picl", []string{"gcc"}, WithTraceCap(1<<16))
+		if len(res.Events) == 0 {
+			t.Fatal("traced run returned no events")
+		}
+		if res.EventsDropped != 0 {
+			t.Fatalf("ring dropped %d events at cap 1<<16", res.EventsDropped)
+		}
+		return res.Events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var commits int
+	for _, ev := range a {
+		if ev.Kind == obs.KindEpochCommit {
+			commits++
+		}
+	}
+	if commits == 0 {
+		t.Fatal("trace has no epoch_commit events")
 	}
 }

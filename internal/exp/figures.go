@@ -2,9 +2,11 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"picl/internal/core"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/sim"
 	"picl/internal/stats"
 	"picl/internal/trace"
@@ -534,4 +536,50 @@ func (r *Runner) RecoveryLatency(benches []string) (*stats.Table, error) {
 		t.AddRow(b, rows[i].liveMB, rows[i].recoveryMs)
 	}
 	return t, nil
+}
+
+// EpochLatency characterizes PiCL's commit-to-persist gap: the simulated
+// time between an epoch's commit (it stops accepting new stores) and its
+// persist (every undo entry and the durable marker are on NVM). The
+// distribution is the durability-lag story of §III-C in one table —
+// bounded by the ACS gap, flat across benchmarks. Gaps are recovered
+// from the observability event stream (obs.KindEpochCommit/Persist), so
+// the table doubles as an end-to-end exercise of the tracing layer.
+func (r *Runner) EpochLatency(benches []string) (*stats.Table, error) {
+	if benches == nil {
+		benches = SensitivityBenches()
+	}
+	traceOpts := []Opt{
+		WithTraceCap(1 << 16),
+		WithTraceMask(obs.MaskOf(obs.KindEpochCommit, obs.KindEpochPersist)),
+	}
+	us := func(c uint64) float64 { return float64(c) / (float64(nvm.CyclesPerNS) * 1e3) }
+	return r.sweep(func(run runFn) (*stats.Table, error) {
+		t := stats.NewTable("Epoch latency: commit-to-persist gap in simulated microseconds (PiCL)",
+			"Epochs", "MinUs", "P50Us", "P90Us", "MaxUs", "MeanUs")
+		t.SetFormat("%10.2f")
+		for _, b := range benches {
+			res, err := run("picl", []string{b}, traceOpts...)
+			if err != nil {
+				return nil, err
+			}
+			gaps := obs.CommitPersistGaps(res.Events)
+			sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+			row := make([]float64, 6)
+			row[0] = float64(len(gaps))
+			if n := len(gaps); n > 0 {
+				var sum uint64
+				for _, g := range gaps {
+					sum += g
+				}
+				row[1] = us(gaps[0])
+				row[2] = us(gaps[(n-1)*50/100])
+				row[3] = us(gaps[(n-1)*90/100])
+				row[4] = us(gaps[n-1])
+				row[5] = us(sum) / float64(n)
+			}
+			t.AddRow(b, row...)
+		}
+		return t, nil
+	})
 }

@@ -20,6 +20,7 @@ func TestParallelByteIdentical(t *testing.T) {
 			func() (interface{ String() string }, error) { return r.Fig11(testBenches) },
 			func() (interface{ String() string }, error) { return r.Fig12([]string{"gcc"}) },
 			func() (interface{ String() string }, error) { return r.AvailabilityReport([]string{"gcc"}) },
+			func() (interface{ String() string }, error) { return r.EpochLatency([]string{"gcc"}) },
 		} {
 			tb, err := build()
 			if err != nil {

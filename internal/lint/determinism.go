@@ -28,6 +28,7 @@ var deterministicScope = []string{
 	modulePath + "/internal/cache",
 	modulePath + "/internal/nvm",
 	modulePath + "/internal/exp",
+	modulePath + "/internal/obs",
 }
 
 var bannedImports = map[string]bool{

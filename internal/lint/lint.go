@@ -80,7 +80,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 
 // All returns the standard analyzer set in documentation order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, EIDCmp, LockDiscipline, ErrWrap, FloatEq}
+	return []*Analyzer{Determinism, EIDCmp, LockDiscipline, ErrWrap, FloatEq, ObsHook}
 }
 
 // ignoreKey locates a suppression: one rule on one line of one file.

@@ -138,6 +138,32 @@ func TestFloatEqGolden(t *testing.T) {
 	})
 }
 
+func TestObsHookGolden(t *testing.T) {
+	// The synthetic path places the package inside internal/core, one of
+	// the two subtrees under the pairing contract.
+	runGolden(t, "obshook", "picl/internal/core/otest", ObsHook, []expect{
+		{21, "obshook"}, // stats.Handle.Add without emit
+		{25, "obshook"}, // Counters.Add without emit
+		{29, "obshook"}, // Counters.Set without emit
+		{33, "obshook"}, // nvm.Stats field ++ without emit
+		{37, "obshook"}, // indexed nvm.Stats field += without emit
+	})
+}
+
+// TestObsHookScope: the same violations outside internal/core and
+// internal/nvm are aggregation code and must not fire.
+func TestObsHookScope(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "obshook"), "picl/internal/exp/otest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{ObsHook}) {
+		if d.Rule == "obshook" {
+			t.Errorf("obshook fired outside its package scope: %s", d)
+		}
+	}
+}
+
 // TestModuleClean is the gate's own gate: the checked-in tree must stay
 // free of unsuppressed diagnostics, so `go test` catches a regression
 // even when someone runs it without `make ci`.
@@ -155,7 +181,7 @@ func TestModuleClean(t *testing.T) {
 }
 
 func TestAllRuleNames(t *testing.T) {
-	want := []string{"determinism", "eidcmp", "lockdiscipline", "errwrap", "floateq"}
+	want := []string{"determinism", "eidcmp", "lockdiscipline", "errwrap", "floateq", "obshook"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))

@@ -15,7 +15,11 @@
 // their writes are durable.
 package nvm
 
-import "fmt"
+import (
+	"fmt"
+
+	"picl/internal/obs"
+)
 
 // Op classifies a memory request both for timing and for the paper's
 // Fig. 12 I/O-operation accounting (sequential logging / random logging /
@@ -245,6 +249,13 @@ func (s Stats) TotalBytes(cat Category) uint64 {
 type Controller struct {
 	cfg   Config
 	stats Stats
+	// tr receives per-request device events when tracing is enabled; nil
+	// (the default) costs one branch per submission and no allocations.
+	tr obs.Tracer
+	// qHigh is the write-queue depth high-water mark; crossing it emits
+	// one obs event, so queue-pressure episodes are visible in traces
+	// without a per-request flood.
+	qHigh int
 
 	busyUntil uint64
 	// banks holds per-bank busy-until horizons; channel is the shared
@@ -311,7 +322,13 @@ func (c *Controller) SubmitRead(now uint64, page uint64) uint64 {
 		c.stats.DRAMHits++
 		c.stats.Count[OpDemandRead]++
 		c.stats.Bytes[OpDemandRead] += 64
+		if c.tr != nil {
+			c.tr.Event(obs.Event{Kind: obs.KindDRAMHit, Time: now, Dur: c.cfg.DRAMHitCycles, A: page})
+		}
 		return now + c.cfg.DRAMHitCycles
+	}
+	if c.tr != nil {
+		c.tr.Event(obs.Event{Kind: obs.KindDRAMMiss, Time: now, A: page})
 	}
 	done := c.Submit(now, OpDemandRead, 64)
 	if len(c.dramCache) >= c.cfg.DRAMCachePages {
@@ -328,6 +345,9 @@ func (c *Controller) SubmitRead(now uint64, page uint64) uint64 {
 	c.dramCache[page] = c.dramClock
 	return done
 }
+
+// SetTracer installs an event tracer (nil disables tracing).
+func (c *Controller) SetTracer(t obs.Tracer) { c.tr = t }
 
 // Config returns the controller's device configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -483,6 +503,18 @@ func (c *Controller) Submit(now uint64, op Op, bytes int) uint64 {
 	c.stats.Bytes[op] += uint64(bytes)
 	c.stats.BusyCycles += rowCyc + xferCyc
 	c.stats.RowActivations += acts
+	if c.tr != nil {
+		// One complete span per request: issue at now, retire at finish
+		// (queueing plus service — the latency the issuer observed).
+		c.tr.Event(obs.Event{Kind: obs.KindNVMOp, Time: now, Dur: finish - now,
+			A: uint64(op), B: uint64(bytes)})
+		if !read {
+			if depth := len(c.done) - c.head; depth > c.qHigh {
+				c.qHigh = depth
+				c.tr.Event(obs.Event{Kind: obs.KindNVMQueueHigh, Time: now, A: uint64(depth)})
+			}
+		}
+	}
 	return finish
 }
 

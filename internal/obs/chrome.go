@@ -1,0 +1,117 @@
+// Chrome trace_event exporter: renders an event stream as the JSON
+// format Perfetto and chrome://tracing load natively, so a simulation's
+// epoch pipeline (commit → ACS scan → persist), undo-buffer flushes, and
+// NVM channel occupancy can be read on a shared timeline.
+//
+// Mapping: simulated cycles convert to trace microseconds at the 2 GHz
+// core clock (1 cycle = 0.0005 µs). Durationful kinds (NVM ops, ACS
+// scans, stalls) render as complete "X" slices; the rest are instant "i"
+// events. Each engine layer gets its own tid so Perfetto draws it as a
+// separate track. Output bytes are a pure function of the event slice:
+// no map iteration, no wall clock, fixed field order.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Track ids (Chrome tid) per engine layer.
+const (
+	trackEpoch = iota + 1 // epoch lifecycle + scheduler
+	trackUndo             // undo buffer / bloom
+	trackACS              // ACS engine
+	trackNVM              // device operations
+	trackCache            // LLC evictions
+)
+
+var trackNames = map[int]string{
+	trackEpoch: "epoch",
+	trackUndo:  "undo-buffer",
+	trackACS:   "acs",
+	trackNVM:   "nvm",
+	trackCache: "cache",
+}
+
+// trackOf assigns an event to its display track.
+func trackOf(k Kind) int {
+	switch k {
+	case KindEpochOpen, KindEpochCommit, KindEpochPersist, KindTagStall, KindEpochInt, KindQuantum, KindRecover:
+		return trackEpoch
+	case KindUndoInsert, KindUndoCoalesce, KindBufFlush, KindBloomClear, KindDepFlush:
+		return trackUndo
+	case KindACSStart, KindACSDone, KindBulkACS:
+		return trackACS
+	case KindNVMOp, KindNVMQueueHigh, KindDRAMHit, KindDRAMMiss:
+		return trackNVM
+	default:
+		return trackCache
+	}
+}
+
+// cyclesToUS converts simulated cycles to trace microseconds (2 GHz
+// clock). strconv.FormatFloat with -1 precision yields the shortest
+// exact representation, which is the same bytes for the same input on
+// every platform.
+func cyclesToUS(c uint64) string {
+	return strconv.FormatFloat(float64(c)*0.0005, 'f', -1, 64)
+}
+
+// WriteChromeTrace renders events as a Chrome trace_event JSON document.
+// The stream should come from one Ring (one machine); events render in
+// slice order. The output is deterministic: identical event slices
+// produce identical bytes.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	// Track-name metadata first, in fixed track order.
+	for tid := trackEpoch; tid <= trackCache; tid++ {
+		fmt.Fprintf(bw,
+			"{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}},\n",
+			tid, trackNames[tid])
+	}
+	for i, ev := range events {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		ph := "i"
+		if ev.Dur > 0 {
+			ph = "X"
+		}
+		fmt.Fprintf(bw, "{\"name\":%q,\"ph\":%q,\"pid\":1,\"tid\":%d,\"ts\":%s",
+			eventName(ev), ph, trackOf(ev.Kind), cyclesToUS(ev.Time))
+		if ev.Dur > 0 {
+			fmt.Fprintf(bw, ",\"dur\":%s", cyclesToUS(ev.Dur))
+		} else {
+			bw.WriteString(",\"s\":\"t\"")
+		}
+		fmt.Fprintf(bw, ",\"args\":{\"cycle\":%d,\"epoch\":%d,\"line\":\"0x%x\",\"a\":%d,\"b\":%d}}",
+			ev.Time, uint64(ev.Epoch), uint64(ev.Addr), ev.A, ev.B)
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// eventName is the slice label: the kind name, specialized for NVM ops so
+// the device track reads writeback/seq_block_write/... directly.
+func eventName(ev Event) string {
+	if ev.Kind == KindNVMOp {
+		return "nvm_" + nvmOpName(ev.A)
+	}
+	return ev.Kind.String()
+}
+
+// nvmOpName mirrors nvm.Op.String without importing internal/nvm (obs
+// sits below every engine package so all of them can emit into it).
+func nvmOpName(op uint64) string {
+	names := [...]string{
+		"demand_read", "writeback", "rand_log_write", "rand_log_read",
+		"seq_block_write", "page_copy",
+	}
+	if op < uint64(len(names)) {
+		return names[op]
+	}
+	return "op" + strconv.FormatUint(op, 10)
+}

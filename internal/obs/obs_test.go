@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"picl/internal/mem"
+)
+
+func TestKindNamesExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < Kind(NumKinds()); k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("kind name %q duplicated", name)
+		}
+		seen[name] = true
+	}
+	if Kind(NumKinds()).String() != "unknown" {
+		t.Fatalf("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestMask(t *testing.T) {
+	var all Mask
+	if !all.Accepts(KindNVMOp) {
+		t.Fatal("zero mask must accept everything")
+	}
+	m := MaskOf(KindEpochCommit, KindEpochPersist)
+	if !m.Accepts(KindEpochCommit) || !m.Accepts(KindEpochPersist) {
+		t.Fatal("mask rejects its own kinds")
+	}
+	if m.Accepts(KindNVMOp) {
+		t.Fatal("mask accepts an excluded kind")
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Event(Event{Kind: KindUndoInsert, Time: uint64(i)})
+	}
+	if r.Cap() != 4 || r.Len() != 4 {
+		t.Fatalf("cap/len = %d/%d, want 4/4", r.Cap(), r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Time != want {
+			t.Fatalf("event %d time = %d, want %d (oldest-first order)", i, ev.Time, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Event(Event{Kind: KindBufFlush, Time: 1})
+	r.Event(Event{Kind: KindBufFlush, Time: 2})
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("len/dropped = %d/%d, want 2/0", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Time != 1 || evs[1].Time != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestRingMask(t *testing.T) {
+	r := NewRing(8)
+	r.SetMask(MaskOf(KindEpochCommit))
+	r.Event(Event{Kind: KindNVMOp})
+	r.Event(Event{Kind: KindEpochCommit})
+	if r.Len() != 1 || r.Events()[0].Kind != KindEpochCommit {
+		t.Fatalf("mask did not filter: %v", r.Events())
+	}
+}
+
+func TestRingEventNoAlloc(t *testing.T) {
+	r := NewRing(16)
+	ev := Event{Kind: KindNVMOp, Time: 1, Dur: 2, A: 3, B: 4}
+	allocs := testing.AllocsPerRun(1000, func() { r.Event(ev) })
+	if allocs != 0 {
+		t.Fatalf("Ring.Event allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestCommitPersistGaps(t *testing.T) {
+	events := []Event{
+		{Kind: KindEpochCommit, Epoch: 1, Time: 100},
+		{Kind: KindEpochCommit, Epoch: 2, Time: 200},
+		{Kind: KindEpochPersist, Epoch: 1, Time: 350},
+		{Kind: KindEpochCommit, Epoch: 3, Time: 300},
+		{Kind: KindEpochPersist, Epoch: 2, Time: 410},
+		// epoch 3 never persists in-stream; epoch 4 persists without a
+		// surviving commit (ring overwrote it) — both must be skipped.
+		{Kind: KindEpochPersist, Epoch: 4, Time: 500},
+	}
+	gaps := CommitPersistGaps(events)
+	want := []uint64{250, 210}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestWriteChromeTraceValidJSONAndDeterministic(t *testing.T) {
+	events := []Event{
+		{Kind: KindEpochCommit, Epoch: 1, Time: 1000},
+		{Kind: KindNVMOp, Time: 1010, Dur: 700, A: 4, B: 2048},
+		{Kind: KindACSStart, Epoch: 1, Time: 1020},
+		{Kind: KindACSDone, Epoch: 1, Time: 1020, Dur: 900, A: 12},
+		{Kind: KindEpochPersist, Epoch: 1, Time: 2000},
+		{Kind: KindLLCEvict, Addr: mem.LineAddr(0xabc), Epoch: 1, Time: 2100},
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace output is not deterministic")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, a.String())
+	}
+	// 5 thread_name metadata records + 6 events.
+	if len(doc.TraceEvents) != 11 {
+		t.Fatalf("traceEvents = %d records, want 11", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		switch ev.Ph {
+		case "M", "i", "X":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if byName["thread_name"] != 5 {
+		t.Fatalf("want 5 track metadata records, got %d", byName["thread_name"])
+	}
+	if byName["nvm_seq_block_write"] != 1 {
+		t.Fatalf("NVM op not specialized by op code: %v", byName)
+	}
+	if byName["epoch_commit"] != 1 || byName["acs_done"] != 1 {
+		t.Fatalf("missing expected events: %v", byName)
+	}
+	if !strings.Contains(a.String(), "\"dur\":0.45") {
+		t.Fatalf("900-cycle dur should render as 0.45 µs:\n%s", a.String())
+	}
+}
+
+func TestEmitNilSafe(t *testing.T) {
+	Emit(nil, Event{Kind: KindEpochOpen}) // must not panic
+	r := NewRing(2)
+	Emit(r, Event{Kind: KindEpochOpen})
+	if r.Len() != 1 {
+		t.Fatal("Emit did not forward to a live tracer")
+	}
+}

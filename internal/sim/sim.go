@@ -32,6 +32,7 @@ import (
 	"picl/internal/core"
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/stats"
 	"picl/internal/trace"
 )
@@ -97,6 +98,20 @@ type Config struct {
 	// re-checks the exact selection invariant after every access, so any
 	// quantum produces cycle-identical results. 0 means the default (64).
 	SchedQuantum int
+	// TraceCap, when positive, attaches a machine-owned obs.Ring of that
+	// capacity to every engine layer (scheme, hierarchy, NVM controller)
+	// and returns the recorded stream in Result.Events. Events carry
+	// simulated time only, so the stream is byte-identical however many
+	// machines run in parallel around this one.
+	TraceCap int
+	// TraceMask restricts ring recording to the given kinds (zero = all).
+	// Long runs use it to keep low-volume kinds (epoch lifecycle) from
+	// being overwritten by high-volume ones (per-op NVM events).
+	TraceMask obs.Mask
+	// Tracer, if non-nil, receives events instead of a TraceCap ring
+	// (Result.Events stays nil; the caller owns collection). The machine
+	// calls it from its own goroutine only — see the obs.Tracer contract.
+	Tracer obs.Tracer
 	// Functional enables content tracking, golden snapshots and crash
 	// injection (slower; used by correctness tests and examples).
 	Functional bool
@@ -135,6 +150,41 @@ type Result struct {
 	LogTotalBytes uint64
 	// Timeline holds per-epoch samples when Config.Timeline is set.
 	Timeline []EpochSample
+	// Events holds the recorded trace when Config.TraceCap is set
+	// (oldest-first; the ring keeps the last TraceCap events).
+	Events []obs.Event
+	// EventsDropped counts trace events the ring overwrote.
+	EventsDropped uint64
+}
+
+// PromText renders the run's aggregate metrics in the Prometheus text
+// exposition format (picl_-prefixed, sorted, deterministic bytes):
+// headline run counters, per-op NVM traffic, and every scheme counter.
+func (r *Result) PromText() string {
+	metrics := map[string]uint64{
+		"cycles":                r.Cycles,
+		"instructions":          r.Instructions,
+		"commits":               r.Commits,
+		"forced_commits":        r.ForcedCommit,
+		"boundary_stall_cycles": r.BoundaryStallCycles,
+		"nvm_busy_cycles":       r.NVM.BusyCycles,
+		"nvm_row_activations":   r.NVM.RowActivations,
+		"nvm_queue_stalls":      r.NVM.StallEvents,
+		"nvm_dram_hits":         r.NVM.DRAMHits,
+		"undo_log_peak_bytes":   r.LogPeakBytes,
+		"undo_log_total_bytes":  r.LogTotalBytes,
+		"trace_events_dropped":  r.EventsDropped,
+	}
+	for op := nvm.Op(0); op < nvm.Op(len(r.NVM.Count)); op++ {
+		metrics["nvm_ops_"+op.String()] = r.NVM.Count[op]
+		metrics["nvm_bytes_"+op.String()] = r.NVM.Bytes[op]
+	}
+	if r.Counters != nil {
+		for k, v := range r.Counters.Snapshot() {
+			metrics["scheme_"+k] = v
+		}
+	}
+	return stats.PromText("picl_", metrics)
 }
 
 // NormalizedIOPS returns the scheme's operations in a Fig. 12 category
@@ -162,6 +212,10 @@ type Machine struct {
 	hier   *cache.Hierarchy
 	ctl    *nvm.Controller
 	cores  []*coreState
+	// tr is the engine-level tracer (scheduler events); ring is the
+	// machine-owned recorder when Config.TraceCap is set.
+	tr   obs.Tracer
+	ring *obs.Ring
 
 	totalInstr uint64
 	stallCyc   uint64
@@ -219,6 +273,18 @@ func New(cfg Config) (*Machine, error) {
 		cfg.OSHandlerLines = 0
 	}
 	m := &Machine{cfg: cfg, scheme: scheme, hier: hier, ctl: ctl}
+	if tr := cfg.Tracer; tr != nil {
+		m.tr = tr
+	} else if cfg.TraceCap > 0 {
+		m.ring = obs.NewRing(cfg.TraceCap)
+		m.ring.SetMask(cfg.TraceMask)
+		m.tr = m.ring
+	}
+	if m.tr != nil {
+		scheme.SetTracer(m.tr)
+		hier.SetTracer(m.tr)
+		ctl.SetTracer(m.tr)
+	}
 	for _, g := range cfg.Workloads {
 		m.cores = append(m.cores, &coreState{gen: g})
 	}
@@ -301,6 +367,10 @@ func (m *Machine) boundary() {
 	resume := m.scheme.EpochBoundary(now)
 	if resume < now {
 		resume = now
+	}
+	if m.tr != nil {
+		m.tr.Event(obs.Event{Kind: obs.KindEpochInt, Time: now, Dur: resume - now,
+			Epoch: m.scheme.SystemEID(), A: m.totalInstr})
 	}
 	m.stallCyc += resume - now
 	for _, c := range m.cores {
@@ -418,6 +488,12 @@ run:
 		if c == nil {
 			break
 		}
+		if m.tr != nil {
+			// One event per derived schedule: which core won the lagging
+			// selection and at what clock/instruction point.
+			m.tr.Event(obs.Event{Kind: obs.KindQuantum, Time: c.clock,
+				A: m.totalInstr, B: uint64(coreID)})
+		}
 		for steps := quantum; ; steps-- {
 			m.step(c, coreID)
 			resched := false
@@ -456,6 +532,10 @@ func (m *Machine) result() *Result {
 		Counters:            m.scheme.Counters(),
 	}
 	r.Timeline = m.timeline
+	if m.ring != nil {
+		r.Events = m.ring.Events()
+		r.EventsDropped = m.ring.Dropped()
+	}
 	if p, ok := m.scheme.(*core.PiCL); ok {
 		r.LogPeakBytes = p.Log().PeakBytes()
 		r.LogTotalBytes = p.Log().TotalBytes()

@@ -143,6 +143,49 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
+// PromText renders metrics in the Prometheus text exposition format:
+// one `# TYPE` header and one sample per metric, prefixed (typically
+// "picl_") and sorted by name so output bytes are deterministic. Metric
+// names are sanitized to the Prometheus charset ([a-z0-9_], lowercase).
+// The engine's metrics are all monotone counts, so every metric is
+// exposed as a counter.
+func PromText(prefix string, metrics map[string]uint64) string {
+	names := make([]string, 0, len(metrics))
+	for k := range metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		name := prefix + sanitizeMetricName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, metrics[k])
+	}
+	return b.String()
+}
+
+// sanitizeMetricName maps an arbitrary counter name onto the Prometheus
+// metric-name charset.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
 // GeoMean returns the geometric mean of xs. Non-positive samples are
 // clamped to a tiny epsilon so a pathological zero does not collapse the
 // whole mean; the paper's normalized ratios are always positive.

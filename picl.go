@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 
 	"picl/internal/baselines"
 	"picl/internal/cache"
@@ -40,7 +41,9 @@ import (
 	"picl/internal/core"
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 	"picl/internal/sim"
+	"picl/internal/stats"
 )
 
 // Sentinel errors returned (wrapped, with context) by the facade; assert
@@ -58,6 +61,8 @@ var (
 	ErrNoPointInTime = errors.New("picl: scheme has no point-in-time recovery")
 	// ErrBadHierarchy reports an invalid WithHierarchy geometry.
 	ErrBadHierarchy = errors.New("picl: invalid cache hierarchy geometry")
+	// ErrNoTrace reports WriteTrace on a machine built without WithTracing.
+	ErrNoTrace = errors.New("picl: tracing not enabled")
 )
 
 // Config re-exports PiCL's hardware parameters (ACS gap, undo buffer
@@ -81,6 +86,7 @@ type options struct {
 	nvmCfg    nvm.Config
 	hierarchy *cache.HierarchyConfig
 	geometry  *[3]LevelGeometry // retained for New's validation
+	traceCap  int
 }
 
 // Option customizes New.
@@ -97,6 +103,14 @@ func WithConfig(c Config) Option { return func(o *options) { o.piclCfg = c } }
 
 // WithNVM overrides the NVM device model (see DefaultNVM, DRAM).
 func WithNVM(c nvm.Config) Option { return func(o *options) { o.nvmCfg = c } }
+
+// WithTracing attaches an event recorder of the given capacity (events;
+// the ring keeps the most recent ones) to every layer of the machine:
+// epoch lifecycle, undo logging, ACS scans, cache evictions, and NVM
+// operations are captured with simulated-cycle timestamps. Export with
+// WriteTrace. Zero or negative capacity disables tracing (the default);
+// a disabled machine pays no tracing overhead.
+func WithTracing(capacity int) Option { return func(o *options) { o.traceCap = capacity } }
 
 // LevelGeometry describes one cache level for WithHierarchy. SizeBytes
 // is the level's capacity (per core for the private L1/L2, total shared
@@ -165,6 +179,7 @@ type Machine struct {
 	scheme  checkpoint.Scheme
 	hier    *cache.Hierarchy
 	ctl     *nvm.Controller
+	ring    *obs.Ring // nil unless WithTracing
 	clock   uint64
 	crashed bool
 	ioQueue []pendingIO
@@ -204,7 +219,14 @@ func New(opts ...Option) (*Machine, error) {
 	}
 	hier := cache.NewHierarchy(hcfg, scheme, scheme)
 	scheme.Attach(hier)
-	return &Machine{scheme: scheme, hier: hier, ctl: ctl}, nil
+	m := &Machine{scheme: scheme, hier: hier, ctl: ctl}
+	if o.traceCap > 0 {
+		m.ring = obs.NewRing(o.traceCap)
+		scheme.SetTracer(m.ring)
+		hier.SetTracer(m.ring)
+		ctl.SetTracer(m.ring)
+	}
+	return m, nil
 }
 
 func (m *Machine) checkLive() error {
@@ -414,6 +436,27 @@ func (m *Machine) RawMemory() Image {
 	return Image{img: m.scheme.(durable).DurableImage()}
 }
 
+// WriteTrace writes every event the machine's recorder currently holds
+// as a Chrome trace_event JSON document — load it at ui.perfetto.dev or
+// chrome://tracing. Events carry simulated-cycle timestamps, so the same
+// workload always produces the same bytes. Returns ErrNoTrace (wrapped)
+// unless the machine was built WithTracing.
+func (m *Machine) WriteTrace(w io.Writer) error {
+	if m.ring == nil {
+		return fmt.Errorf("%w; build the machine with WithTracing", ErrNoTrace)
+	}
+	return obs.WriteChromeTrace(w, m.ring.Events())
+}
+
+// TraceDropped reports how many events the recorder has overwritten
+// (zero until the WithTracing capacity is exceeded).
+func (m *Machine) TraceDropped() uint64 {
+	if m.ring == nil {
+		return 0
+	}
+	return m.ring.Dropped()
+}
+
 // Stats summarizes machine activity.
 type Stats struct {
 	Cycles         uint64
@@ -422,6 +465,10 @@ type Stats struct {
 	CurrentEpoch   uint64
 	NVM            nvm.Stats
 	Scheme         string
+	// Counters holds the scheme's internal event counters (undo-buffer
+	// flushes, ACS write-backs, bloom filter clears, ...); names vary by
+	// scheme and appear in PromText with a scheme_ prefix.
+	Counters map[string]uint64
 }
 
 // Stats returns a snapshot of the machine's counters.
@@ -433,7 +480,32 @@ func (m *Machine) Stats() Stats {
 		CurrentEpoch:   uint64(m.scheme.SystemEID()),
 		NVM:            m.ctl.Stats(),
 		Scheme:         m.scheme.Name(),
+		Counters:       m.scheme.Counters().Snapshot(),
 	}
+}
+
+// PromText renders the snapshot in the Prometheus text exposition format
+// (picl_-prefixed counter samples, sorted, deterministic bytes) for
+// scraping by external harnesses.
+func (s Stats) PromText() string {
+	metrics := map[string]uint64{
+		"cycles":              s.Cycles,
+		"commits":             s.Commits,
+		"current_epoch":       s.CurrentEpoch,
+		"persisted_epoch":     s.PersistedEpoch,
+		"nvm_busy_cycles":     s.NVM.BusyCycles,
+		"nvm_row_activations": s.NVM.RowActivations,
+		"nvm_queue_stalls":    s.NVM.StallEvents,
+		"nvm_dram_hits":       s.NVM.DRAMHits,
+	}
+	for _, c := range nvm.Categories() {
+		metrics["nvm_ops_"+c.String()] = s.NVM.Ops(c)
+		metrics["nvm_bytes_"+c.String()] = s.NVM.TotalBytes(c)
+	}
+	for k, v := range s.Counters {
+		metrics["scheme_"+k] = v
+	}
+	return stats.PromText("picl_", metrics)
 }
 
 // String renders a short human-readable summary.

@@ -1,7 +1,10 @@
 package picl
 
 import (
+	"encoding/json"
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -288,5 +291,55 @@ func TestIONeverReleasesAfterCrash(t *testing.T) {
 	}
 	if err := m.QueueIO("late"); err == nil {
 		t.Fatal("post-crash QueueIO accepted")
+	}
+}
+
+// TestTracingFacade: WithTracing captures events across the whole stack,
+// WriteTrace renders Chrome trace_event JSON, and PromText exposes the
+// same run as Prometheus counters. Untraced machines return ErrNoTrace.
+func TestTracingFacade(t *testing.T) {
+	m, err := New(WithSmallCaches(), WithTracing(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4096; i++ {
+		if err := m.Write(i*64, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CommitEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := m.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, `{"traceEvents":[`) || !strings.Contains(out, `"epoch_commit"`) {
+		t.Fatalf("trace missing structure or commit events:\n%.300s", out)
+	}
+	if !json.Valid([]byte(out)) {
+		t.Fatalf("trace is not valid JSON:\n%.300s", out)
+	}
+
+	prom := m.Stats().PromText()
+	for _, want := range []string{"# TYPE picl_cycles counter", "picl_commits ", "picl_nvm_ops_"} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("PromText missing %q:\n%s", want, prom)
+		}
+	}
+
+	plain, err := New(WithSmallCaches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteTrace(&buf); !errors.Is(err, ErrNoTrace) {
+		t.Fatalf("untraced WriteTrace err = %v, want ErrNoTrace", err)
+	}
+	if plain.TraceDropped() != 0 {
+		t.Fatal("untraced machine reports dropped events")
 	}
 }
