@@ -1,4 +1,4 @@
-.PHONY: ci vet fmt-check tidy-check lint build test race cover cover-update bench bench-check bench-test
+.PHONY: ci vet fmt-check tidy-check lint build test race cover cover-update bench bench-check bench-test crash
 
 # ci is the tier-1 gate: vet, formatting and go.mod hygiene, the
 # project-specific invariant linter, build everything, the full test
@@ -9,7 +9,7 @@
 # lock violation fails the build exactly like a vet error, and
 # bench-check fails it on a throughput or output-byte regression
 # against the committed BENCH_PR4.json.
-ci: vet fmt-check tidy-check lint build race cover bench-check
+ci: vet fmt-check tidy-check lint build race cover bench-check crash
 
 vet:
 	go vet ./...
@@ -74,3 +74,11 @@ bench-check:
 # bench-test runs the same bodies through the plain go-test harness.
 bench-test:
 	go test -bench=. -benchmem
+
+# crash (part of ci) is the SIGKILL crash-recovery gate: 100 real child
+# processes are killed at seeded random points mid-workload and every
+# store directory they leave behind must recover bit-exactly against
+# the golden replay (see cmd/picl-crash). ~3 s wall clock; a failure
+# prints the single-seed replay invocation.
+crash:
+	go run ./cmd/picl-crash -points 100

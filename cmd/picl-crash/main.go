@@ -1,0 +1,226 @@
+// Command picl-crash is the durable-storage crash harness: it SIGKILLs
+// real processes mid-workload and verifies that the store directory they
+// leave behind recovers bit-exactly.
+//
+// For each crash point the parent re-executes itself as a child. The
+// child opens a durable store (picl.Open), replays a deterministic
+// seeded workload — line writes, epoch commits, occasional syncs — and
+// kills itself with SIGKILL at a PRNG-chosen operation index: no
+// deferred cleanup, no flush-on-exit, exactly what a power cut looks
+// like to the filesystem. The parent then replays the same operation
+// stream in pure application space, reconstructing the golden
+// end-of-epoch memory image for every epoch the child sealed, recovers
+// the directory with the OS recovery procedure, and requires the
+// recovered image to equal the golden image of the epoch the durable
+// marker names (paper §IV-B, against real files instead of the
+// simulated NVM).
+//
+// Every point derives its own seed from the base seed, so a failure
+// minimizes to a single replayable invocation, which the harness prints:
+//
+//	picl-crash                 # 100 crash points, seed 2018
+//	picl-crash -points 500 -seed 7
+//	picl-crash -points 1 -seed 2043   # replay point 25 of the default run
+//	picl-crash -verify DIR            # recover an existing store, print what was found
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+
+	"picl"
+	"picl/internal/mem"
+	"picl/internal/storage"
+)
+
+// splitmix64 is the harness PRNG: tiny, seedable, and stable across
+// runs, so a crash point is identified by its seed alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 { r.s = splitmix64(r.s); return r.s }
+
+// op is one step of the deterministic workload.
+type op struct {
+	line   uint64 // line index (write ops)
+	val    uint64 // value (write ops, never 0)
+	commit bool   // end the epoch after this write
+	sync   bool   // force-persist everything after this write
+}
+
+// plan derives the full workload and the kill point from one seed. The
+// child and the parent's golden replay both call it — the op stream IS
+// the shared truth.
+func plan(seed uint64) (ops []op, killAt int) {
+	r := &rng{s: seed}
+	n := int(80 + r.next()%240) // 80..319 ops
+	ops = make([]op, n)
+	for i := range ops {
+		o := op{line: r.next() % 48, val: r.next() | 1}
+		switch r.next() % 16 {
+		case 0, 1:
+			o.commit = true
+		case 2:
+			o.sync = true
+		}
+		ops[i] = o
+	}
+	killAt = int(r.next() % uint64(n))
+	return ops, killAt
+}
+
+// machineOpts is the child's configuration: small caches so evictions
+// happen, a tiny undo buffer so blocks flush often, and ACS-gap 1 so
+// the marker trails commits closely — maximum durable traffic per op.
+func machineOpts() []picl.Option {
+	cfg := picl.DefaultConfig()
+	cfg.ACSGap = 1
+	cfg.BufferEntries = 4
+	return []picl.Option{picl.WithSmallCaches(), picl.WithConfig(cfg)}
+}
+
+// runChild executes ops[0:killAt] against a durable store and then
+// SIGKILLs its own process — it never returns.
+func runChild(dir string, seed uint64) {
+	ops, killAt := plan(seed)
+	m, err := picl.Open(dir, machineOpts()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child open:", err)
+		os.Exit(3)
+	}
+	for _, o := range ops[:killAt] {
+		if err := m.Write(o.line*64, o.val); err != nil {
+			fmt.Fprintln(os.Stderr, "child write:", err)
+			os.Exit(3)
+		}
+		if o.commit {
+			if err := m.CommitEpoch(); err != nil {
+				fmt.Fprintln(os.Stderr, "child commit:", err)
+				os.Exit(3)
+			}
+		}
+		if o.sync {
+			if _, err := m.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "child sync:", err)
+				os.Exit(3)
+			}
+		}
+	}
+	// The plug is pulled: no Close, no flush, no deferred anything.
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be caught
+}
+
+// golden replays ops[0:killAt] in application space and returns the
+// end-of-epoch images: golden[0] is the pristine empty state, golden[k]
+// the state after the k-th sealed epoch.
+func golden(ops []op, killAt int) []*mem.Image {
+	cur := mem.NewImage()
+	out := []*mem.Image{cur.Clone()}
+	for _, o := range ops[:killAt] {
+		cur.Write(mem.LineAddr(o.line), mem.Word(o.val))
+		if o.commit || o.sync {
+			out = append(out, cur.Clone())
+		}
+	}
+	return out
+}
+
+// verifyPoint checks one crash point's directory against the golden
+// replay. It returns a description of the failure, or "" on success.
+func verifyPoint(dir string, seed uint64) string {
+	ops, killAt := plan(seed)
+	img, info, err := storage.RecoverDir(dir)
+	if err != nil {
+		return fmt.Sprintf("recovery error: %v", err)
+	}
+	g := golden(ops, killAt)
+	if int(info.Marker) >= len(g) {
+		return fmt.Sprintf("marker %d but only %d epochs sealed before the kill", info.Marker, len(g)-1)
+	}
+	want := g[info.Marker]
+	if !img.Equal(want) {
+		return fmt.Sprintf("image differs from golden epoch %d at lines %v (blocks=%d applied=%d torn=%dB)",
+			info.Marker, img.Diff(want, 5), info.BlocksRead, info.Applied, info.TornBytes)
+	}
+	return ""
+}
+
+func main() {
+	var (
+		child  = flag.String("child", "", "internal: run as crash child against this store directory")
+		seed   = flag.Uint64("seed", 2018, "base seed; point i uses seed+i")
+		points = flag.Int("points", 100, "number of SIGKILL crash points")
+		verify = flag.String("verify", "", "recover an existing store directory, print what was found, and exit")
+		keep   = flag.Bool("keep", false, "keep per-point store directories (for post-mortem)")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		img, info, err := storage.RecoverDir(*verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: marker epoch %d, %d blocks read (%d torn tail bytes dropped), %d entries applied over %d blocks, %d live lines\n",
+			*verify, info.Marker, info.BlocksRead, info.TornBytes, info.Applied, info.Scanned, img.Len())
+		return
+	}
+
+	if *child != "" {
+		runChild(*child, splitmix64(*seed))
+		return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	work, err := os.MkdirTemp("", "picl-crash")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*keep {
+		defer os.RemoveAll(work)
+	}
+
+	failures := 0
+	for i := 0; i < *points; i++ {
+		pointSeed := *seed + uint64(i)
+		dir := filepath.Join(work, fmt.Sprintf("point%04d", i))
+		cmd := exec.Command(self, "-child", dir, "-seed", fmt.Sprint(pointSeed))
+		out, err := cmd.CombinedOutput()
+		ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+		if err == nil || !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			failures++
+			fmt.Printf("point %3d: child did not die by SIGKILL (%v)\n%s", i, cmd.ProcessState, out)
+			continue
+		}
+		if msg := verifyPoint(dir, splitmix64(pointSeed)); msg != "" {
+			failures++
+			fmt.Printf("point %3d: FAIL: %s\n          replay: picl-crash -points 1 -seed %d\n", i, msg, pointSeed)
+			continue
+		}
+		if !*keep {
+			os.RemoveAll(dir)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d/%d crash points FAILED recovery verification\n", failures, *points)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d SIGKILL crash points recovered bit-exactly\n", *points)
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"picl/internal/mem"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func crashBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "picl-crash-smoke")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "picl-crash")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(crashBin(t), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestPlanDeterministic: the whole harness rests on plan(seed) being a
+// pure function — the child executes it, the parent replays it.
+func TestPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, ka := plan(splitmix64(seed))
+		b, kb := plan(splitmix64(seed))
+		if ka != kb || len(a) != len(b) {
+			t.Fatalf("seed %d: plan not deterministic", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: op %d differs", seed, i)
+			}
+		}
+		if ka >= len(a) {
+			t.Fatalf("seed %d: kill point %d beyond %d ops", seed, ka, len(a))
+		}
+	}
+}
+
+// TestGoldenReplay: golden() seals a snapshot per commit/sync and the
+// snapshots are genuine copies (later writes don't alias in).
+func TestGoldenReplay(t *testing.T) {
+	ops := []op{
+		{line: 1, val: 10, commit: true},
+		{line: 1, val: 20, sync: true},
+		{line: 2, val: 30},
+	}
+	g := golden(ops, len(ops))
+	if len(g) != 3 {
+		t.Fatalf("%d snapshots, want 3", len(g))
+	}
+	if g[0].Len() != 0 {
+		t.Fatal("epoch 0 not pristine")
+	}
+	if g[1].Read(mem.LineAddr(1)) != 10 || g[2].Read(mem.LineAddr(1)) != 20 {
+		t.Fatal("snapshots aliased or misordered")
+	}
+	if g[2].Read(mem.LineAddr(2)) != 0 {
+		t.Fatal("uncommitted write leaked into sealed snapshot")
+	}
+}
+
+// TestSmokeCrashPoints SIGKILLs a handful of real child processes and
+// requires every recovery to verify. This is the in-tree slice of the
+// CI `make crash` gate (100+ points).
+func TestSmokeCrashPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	out, stderr, code := run(t, "-points", "8", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d:\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "all 8 SIGKILL crash points recovered bit-exactly") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+// TestSmokeVerifyMode: -verify recovers a directory a killed child left
+// behind and reports what it found.
+func TestSmokeVerifyMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	work := t.TempDir()
+	// Run one point with -keep inside our tempdir via TMPDIR.
+	cmd := exec.Command(crashBin(t), "-points", "1", "-seed", "3", "-keep")
+	cmd.Env = append(os.Environ(), "TMPDIR="+work)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	matches, err := filepath.Glob(filepath.Join(work, "picl-crash*", "point0000"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("kept store not found: %v %v", matches, err)
+	}
+	out, stderr, code := run(t, "-verify", matches[0])
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "marker epoch") || !strings.Contains(out, "blocks read") {
+		t.Fatalf("unexpected -verify output:\n%s", out)
+	}
+}

@@ -5,11 +5,18 @@
 // bit-for-bit against the golden end-of-epoch state the scheme claims to
 // have restored (paper §IV-B crash handling, §V "fully recoverable").
 //
+// With -log it audits a real on-disk durable store instead — a
+// directory produced by picl.Open (or left behind by a SIGKILLed
+// process; see picl-crash): it runs the identical OS recovery procedure
+// against the files, validates the log's structural invariants, and
+// reports what was recovered.
+//
 // Usage:
 //
 //	picl-recover                          # one PiCL crash, random point
 //	picl-recover -scheme frm -trials 20
 //	picl-recover -bench mcf -at 2000000   # crash at instruction 2M
+//	picl-recover -log /path/to/store      # audit an on-disk durable store
 package main
 
 import (
@@ -33,8 +40,13 @@ func main() {
 		trials = flag.Int("trials", 5, "number of independent crash trials")
 		seed   = flag.Int64("seed", 2018, "crash-point RNG seed")
 		gap    = flag.Int("acs-gap", 3, "PiCL ACS-gap")
+		logDir = flag.String("log", "", "audit this on-disk durable store directory instead of a simulated run")
 	)
 	flag.Parse()
+
+	if *logDir != "" {
+		os.Exit(auditStore(*logDir))
+	}
 
 	p, err := trace.ProfileFor(*bench)
 	if err != nil {

@@ -1,0 +1,171 @@
+package picl
+
+import (
+	"errors"
+	"fmt"
+
+	"picl/internal/mem"
+	"picl/internal/storage"
+	"picl/internal/undolog"
+)
+
+// Backend is durable, append-only block storage for the undo log — the
+// public face of the storage layer's backend interface. All
+// implementations present the identical durable byte representation
+// (one superblock followed by whole 2 KB blocks), so the recovery
+// tooling never needs to know which medium held the bytes.
+//
+// AppendBlock may stage; data is guaranteed durable only after Sync
+// returns. OpenLogBackend returns the file-backed implementation;
+// WithBackend installs any implementation as a machine's undo-log
+// mirror.
+type Backend interface {
+	AppendBlock(raw []byte) error
+	Sync() error
+	Blocks() uint64
+	ReadAll() ([]byte, error)
+	Truncate(n uint64) error
+	Close() error
+}
+
+// OpenLogBackend opens (creating if absent) a file-backed undo-log
+// Backend at path. regionBytes sizes a fresh log's region (0 uses the
+// default 128 MB); an existing log's recorded geometry wins. A partial
+// tail block left by a crash is repaired silently; a torn or corrupt
+// superblock reports ErrTornLog (wrapped).
+func OpenLogBackend(path string, regionBytes uint64) (Backend, error) {
+	b, err := storage.OpenFile(path, regionBytes)
+	if err != nil {
+		return nil, wrapStorageErr(err)
+	}
+	return b, nil
+}
+
+// WithBackend installs b as the machine's durable undo-log mirror:
+// every flushed undo block is appended and synced to b before any
+// in-place write it covers is issued (the write-ahead ordering a real
+// PiCL deployment gets from NVM ordering). Only the "picl" scheme can
+// drive a backend; New reports ErrBackend otherwise.
+//
+// WithBackend mirrors the log only. For a fully durable machine —
+// log, memory image, and persisted-epoch marker on disk, recoverable
+// after a crash of the whole process — use Open.
+func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
+
+// wrapStorageErr maps storage-layer failures onto the facade's
+// sentinels: a corrupt superblock is ErrTornLog, anything else
+// ErrBackend.
+func wrapStorageErr(err error) error {
+	if errors.Is(err, undolog.ErrCorruptSuper) {
+		return fmt.Errorf("%w: %w", ErrTornLog, err)
+	}
+	return fmt.Errorf("%w: %w", ErrBackend, err)
+}
+
+// Open builds a fully durable Machine over the store directory at path,
+// creating it if absent. The directory holds the undo log, the
+// line-granular memory image, and the persisted-epoch marker (see
+// DESIGN.md §10). Open first runs crash recovery against whatever the
+// directory holds — a previous SIGKILL, power cut, or clean Close all
+// leave a recoverable store — then compacts the recovered state into a
+// fresh epoch-0 baseline and returns a machine seeded with it. The
+// recovered image and epoch are available via Recovered.
+//
+// Options are as for New, except the scheme is fixed to "picl"
+// (ErrBackend otherwise) and WithBackend cannot be combined with Open
+// (the store directory already provides the log backend).
+//
+// The machine must be released with Close; a machine that is SIGKILLed
+// instead leaves a directory that the next Open recovers bit-exactly to
+// the last durably persisted epoch.
+func Open(path string, opts ...Option) (*Machine, error) {
+	probe := options{scheme: "picl"}
+	for _, f := range opts {
+		f(&probe)
+	}
+	if probe.scheme != "picl" {
+		return nil, fmt.Errorf("%w: scheme %q cannot drive a durable store (need \"picl\")", ErrBackend, probe.scheme)
+	}
+	if probe.backend != nil {
+		return nil, fmt.Errorf("%w: WithBackend cannot be combined with Open", ErrBackend)
+	}
+
+	d, err := storage.OpenDir(path)
+	if err != nil {
+		return nil, wrapStorageErr(err)
+	}
+	img, info, err := d.Recover()
+	if err != nil {
+		d.Close()
+		return nil, wrapStorageErr(err)
+	}
+	// Compact the recovered state into a fresh epoch-0 baseline so the
+	// new machine's epoch numbering and the store agree from the start.
+	if err := d.Reset(img); err != nil {
+		d.Close()
+		return nil, wrapStorageErr(err)
+	}
+
+	m, err := New(opts...)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	// New with scheme "picl" always yields a *core.PiCL.
+	m.durablePiCL.SeedImage(img)
+	m.durablePiCL.SetDurable(d)
+	m.durable = d
+	m.recoveredImg = Image{img: img}
+	m.recoveredEID = uint64(info.Marker)
+	return m, nil
+}
+
+// Recovered reports what Open found in the store directory: the
+// consistent memory image recovered from disk (now the machine's
+// baseline) and the epoch it corresponded to in the previous machine's
+// numbering. A machine not built with Open returns an empty image and
+// epoch 0.
+func (m *Machine) Recovered() (Image, uint64) {
+	if m.recoveredImg.img == nil {
+		return Image{img: mem.NewImage()}, 0
+	}
+	return m.recoveredImg, m.recoveredEID
+}
+
+// Close cleanly shuts the machine down: committed epochs are forced
+// durable (Sync), the durable store is flushed and released, and the
+// machine becomes unusable (subsequent operations report ErrBackend).
+// Close after a Crash skips the sync — the simulated power is already
+// off — but still releases the store, which remains recoverable.
+// Machines without a durable store just become unusable.
+func (m *Machine) Close() error {
+	if m.closed {
+		return nil
+	}
+	var firstErr error
+	if !m.crashed {
+		if _, err := m.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.closed = true
+	if m.durable != nil {
+		if err := m.durablePiCL.DurableErr(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%w: %w", ErrBackend, err)
+		}
+		if err := m.durable.Close(); err != nil && firstErr == nil {
+			firstErr = wrapStorageErr(err)
+		}
+		m.durable = nil
+	}
+	return firstErr
+}
+
+// DurablePath returns the store directory of a machine built with Open
+// ("" otherwise) — handy for pointing picl-recover at it.
+func (m *Machine) DurablePath() string {
+	if m.durable == nil {
+		return ""
+	}
+	return m.durable.Path()
+}

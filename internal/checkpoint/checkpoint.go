@@ -73,6 +73,15 @@ type Scheme interface {
 	SetCommitHook(func())
 }
 
+// LineSink mirrors accepted in-place line writes to a durable medium
+// (storage.ImageFile implements it). The mirror happens at submission
+// time, so the durable file can run ahead of the simulator's modeled
+// durable prefix — both are valid recovery points under the write-ahead
+// ordering contract (see internal/storage's package doc).
+type LineSink interface {
+	WriteLine(l mem.LineAddr, w mem.Word) error
+}
+
 // Base carries the state and helpers shared by all scheme
 // implementations. Schemes embed it and use the Persist* helpers for
 // every durable mutation.
@@ -105,6 +114,13 @@ type Base struct {
 	commitHook func()
 	inflight   []inflightOp
 	crashed    bool
+
+	// sink, when non-nil, receives a durable mirror of every in-place
+	// line write. The first mirror failure is recorded sticky in sinkErr
+	// (the hot path cannot return storage errors); callers surface it at
+	// the next fallible operation.
+	sink    LineSink
+	sinkErr error
 }
 
 type inflightOp struct {
@@ -193,7 +209,29 @@ func (b *Base) PersistLineWrite(now uint64, op nvm.Op, l mem.LineAddr, data mem.
 	}
 	old := b.Cur.Read(l)
 	b.Cur.Write(l, data)
+	if b.sink != nil {
+		if err := b.sink.WriteLine(l, data); err != nil && b.sinkErr == nil {
+			b.sinkErr = err
+		}
+	}
 	return b.Persist(now, op, mem.LineSize, func() { b.Cur.Write(l, old) })
+}
+
+// SetLineSink installs (or clears, with nil) the durable mirror for
+// in-place line writes. Install before the run starts.
+func (b *Base) SetLineSink(s LineSink) { b.sink = s }
+
+// SinkErr reports the first durable-mirror failure, if any.
+func (b *Base) SinkErr() error { return b.sinkErr }
+
+// SeedImage replaces the current NVM content with img (functional mode
+// only): `picl.Open` seeds a freshly constructed machine with the image
+// recovered from its durable store, making the on-disk state the
+// machine's epoch-0 baseline.
+func (b *Base) SeedImage(img *mem.Image) {
+	if b.Functional && img != nil {
+		b.Cur = img
+	}
 }
 
 // Settle discards undo records for writes durable by now. Called

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"picl/internal/mem"
+	"picl/internal/nvm"
+)
+
+// recSink records mirrored line writes and can be armed to fail.
+type recSink struct {
+	lines map[mem.LineAddr]mem.Word
+	err   error
+}
+
+func (s *recSink) WriteLine(l mem.LineAddr, w mem.Word) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.lines == nil {
+		s.lines = make(map[mem.LineAddr]mem.Word)
+	}
+	s.lines[l] = w
+	return nil
+}
+
+// TestLineSinkMirrors: every functional in-place line write is mirrored
+// to the installed sink with the post-write data, and clearing the sink
+// stops the mirroring.
+func TestLineSinkMirrors(t *testing.T) {
+	b := newBase(true)
+	s := &recSink{}
+	b.SetLineSink(s)
+	b.PersistLineWrite(0, nvm.OpWriteback, 3, 33)
+	b.PersistLineWrite(0, nvm.OpWriteback, 4, 44)
+	b.PersistLineWrite(0, nvm.OpWriteback, 3, 55) // overwrite
+	if err := b.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.lines) != 2 || s.lines[3] != 55 || s.lines[4] != 44 {
+		t.Fatalf("mirrored lines %v", s.lines)
+	}
+	b.SetLineSink(nil)
+	b.PersistLineWrite(0, nvm.OpWriteback, 9, 99)
+	if _, ok := s.lines[9]; ok {
+		t.Fatal("write mirrored after sink cleared")
+	}
+}
+
+// TestLineSinkErrSticky: the first mirror failure is recorded and held;
+// later failures do not overwrite it.
+func TestLineSinkErrSticky(t *testing.T) {
+	b := newBase(true)
+	first := errors.New("disk full")
+	s := &recSink{err: first}
+	b.SetLineSink(s)
+	b.PersistLineWrite(0, nvm.OpWriteback, 1, 11)
+	s.err = errors.New("later failure")
+	b.PersistLineWrite(0, nvm.OpWriteback, 2, 22)
+	if got := b.SinkErr(); got != first {
+		t.Fatalf("SinkErr = %v, want the first failure", got)
+	}
+}
+
+// TestSeedImage: a functional base adopts the seeded image as its
+// current NVM content; timing-only bases and nil images are no-ops.
+func TestSeedImage(t *testing.T) {
+	img := mem.NewImage()
+	img.Write(7, 777)
+
+	b := newBase(true)
+	b.SeedImage(img)
+	if got := b.Cur.Read(7); got != 777 {
+		t.Fatalf("seeded line reads %d, want 777", got)
+	}
+	b.SeedImage(nil)
+	if b.Cur != img {
+		t.Fatal("SeedImage(nil) replaced the image")
+	}
+
+	timing := newBase(false)
+	timing.SeedImage(img)
+	if timing.Cur != nil {
+		t.Fatal("timing-only base adopted a functional image")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"picl/internal/mem"
+	"picl/internal/storage"
+)
+
+// durableRig attaches a real on-disk store to the standard test rig.
+func durableRig(t *testing.T, cfg Config) (*rig, *storage.Dir) {
+	t.Helper()
+	r := newRig(t, cfg)
+	d, err := storage.OpenDir(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.p.SetDurable(d)
+	return r, d
+}
+
+// checkDiskRecovery closes the store and verifies the directory left on
+// disk recovers bit-exactly to the golden state of whatever epoch its
+// marker names — the same property checkRecovery asserts for the
+// simulated durable state, now against real files.
+func checkDiskRecovery(t *testing.T, r *rig, d *storage.Dir) {
+	t.Helper()
+	if err := r.p.DurableErr(); err != nil {
+		t.Fatal(err)
+	}
+	path := d.Path()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, info, err := storage.RecoverDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(info.Marker) >= len(r.golden) {
+		t.Fatalf("disk marker %d but only %d epochs committed", info.Marker, len(r.golden)-1)
+	}
+	want := r.golden[info.Marker]
+	if !img.Equal(want) {
+		t.Fatalf("disk recovery to epoch %d mismatch: diff=%v (info %+v)",
+			info.Marker, img.Diff(want, 5), info)
+	}
+}
+
+// TestDurableMirrorRecovery: a cleanly drained run leaves a directory
+// whose recovery matches the ACS-gap-delayed persisted epoch.
+func TestDurableMirrorRecovery(t *testing.T) {
+	r, d := durableRig(t, Config{ACSGap: 2})
+	for e := 1; e <= 5; e++ {
+		for i := 0; i < 8; i++ {
+			r.store(mem.LineAddr(i%5), mem.Word(e*1000+i))
+		}
+		r.boundary()
+	}
+	r.settleAll()
+	checkDiskRecovery(t, r, d)
+}
+
+// TestDurableMirrorAbruptStop: stopping mid-flight (writes still queued
+// in the simulated controller, nothing drained or settled) must leave a
+// consistent on-disk store — the mirror syncs at submission, so the
+// disk is always at or ahead of the simulated durable prefix.
+func TestDurableMirrorAbruptStop(t *testing.T) {
+	r, d := durableRig(t, Config{ACSGap: 1, BufferEntries: 4})
+	for e := 1; e <= 4; e++ {
+		for i := 0; i < 10; i++ {
+			r.store(mem.LineAddr(i), mem.Word(e*100+i))
+		}
+		r.boundary()
+	}
+	checkDiskRecovery(t, r, d)
+}
+
+// TestDurableMirrorRandomized is the disk edition of
+// TestRandomizedCrashRecovery: random traces and configs, then verify
+// the store on disk.
+func TestDurableMirrorRandomized(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 15; trial++ {
+		cfg := Config{
+			ACSGap:        rnd.Intn(4),
+			BufferEntries: []int{4, 8, undolog28()}[rnd.Intn(3)],
+		}
+		r, d := durableRig(t, cfg)
+		nEpochs := rnd.Intn(6) + 1
+		for e := 0; e < nEpochs; e++ {
+			for i := 0; i < rnd.Intn(60); i++ {
+				l := mem.LineAddr(rnd.Intn(40))
+				if rnd.Intn(4) == 0 {
+					r.load(l)
+				} else {
+					r.store(l, mem.Word(rnd.Uint64()|1))
+				}
+			}
+			r.boundary()
+		}
+		if rnd.Intn(2) == 0 {
+			r.settleAll()
+		}
+		checkDiskRecovery(t, r, d)
+	}
+}
+
+// TestSeedImageBaseline: a machine seeded with a recovered image serves
+// it as epoch-0 content — reads hit the seeded lines, and an immediate
+// disk recovery of a fresh store returns the baseline.
+func TestSeedImageBaseline(t *testing.T) {
+	seed := mem.NewImage()
+	seed.Write(7, 777)
+	seed.Write(9, 999)
+	r := newRig(t, DefaultConfig())
+	r.p.SeedImage(seed)
+	if got := r.load(7); got != 777 {
+		t.Fatalf("seeded line read %d, want 777", got)
+	}
+	img, eid, err := r.p.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eid.AtMost(0) {
+		t.Fatalf("fresh machine recovered to epoch %d", eid)
+	}
+	if img.Read(7) != 777 || img.Read(9) != 999 {
+		t.Fatal("seeded baseline not in recovered image")
+	}
+}

@@ -29,8 +29,18 @@ import (
 	"picl/internal/nvm"
 	"picl/internal/obs"
 	"picl/internal/stats"
+	"picl/internal/storage"
 	"picl/internal/undolog"
 )
+
+// LogSink mirrors undo-log block appends to a durable medium
+// (storage.Backend satisfies it). Sync is called after every mirrored
+// block so the write-ahead ordering contract holds for the in-place
+// writes that follow.
+type LogSink interface {
+	AppendBlock(raw []byte) error
+	Sync() error
+}
 
 // Config parameterizes PiCL.
 type Config struct {
@@ -83,6 +93,15 @@ type PiCL struct {
 	durableMarker mem.EpochID
 	pending       []persistRec
 
+	// logSink, when non-nil, receives a durable mirror of every flushed
+	// undo block; durable, when non-nil, additionally mirrors the
+	// persisted-epoch marker (and, via Base's line sink, the image).
+	// Mirror failures are sticky in durableErr — the store/eviction hot
+	// paths cannot return storage errors.
+	logSink    LogSink
+	durable    *storage.Dir
+	durableErr error
+
 	// Per-event counter handles for the store/eviction fast paths.
 	cUndo, cBufFlush, cDepFlush, cEvictWB stats.Handle
 }
@@ -116,6 +135,48 @@ func New(cfg Config, ctl *nvm.Controller, functional bool) *PiCL {
 
 // Log exposes the undo log for statistics and tests.
 func (p *PiCL) Log() *undolog.Log { return p.log }
+
+// SetLogSink installs (or clears, with nil) a durable mirror for undo
+// block appends. Install before the run starts.
+func (p *PiCL) SetLogSink(s LogSink) { p.logSink = s }
+
+// SetDurable attaches a durable store directory: undo blocks mirror to
+// its log file, in-place line writes to its image file, and the
+// persisted-epoch marker advances it via the full ordering protocol
+// (image sync, log sync, atomic marker replace). The machine must be
+// functional. Install before the run starts — typically right after
+// seeding the recovered image with SeedImage.
+func (p *PiCL) SetDurable(d *storage.Dir) {
+	p.durable = d
+	if d == nil {
+		p.logSink = nil
+		p.SetLineSink(nil)
+		return
+	}
+	p.logSink = d.Log
+	p.SetLineSink(d.Img)
+}
+
+// Durable returns the attached durable store (nil for in-memory
+// machines).
+func (p *PiCL) Durable() *storage.Dir { return p.durable }
+
+// DurableErr reports the first durable-mirror failure, if any: once a
+// mirror write fails the on-disk store is behind the simulated state
+// and must not be trusted past its own marker.
+func (p *PiCL) DurableErr() error {
+	if p.durableErr != nil {
+		return p.durableErr
+	}
+	return p.SinkErr()
+}
+
+// noteDurableErr records the first mirror failure.
+func (p *PiCL) noteDurableErr(err error) {
+	if err != nil && p.durableErr == nil {
+		p.durableErr = err
+	}
+}
 
 // Fill implements cache.Backend: a demand read from NVM.
 func (p *PiCL) Fill(now uint64, l mem.LineAddr) (mem.Word, uint64) {
@@ -183,6 +244,22 @@ func (p *PiCL) flushBuffer(now uint64) uint64 {
 	}
 	stall := p.MaybeStall(now)
 	p.log.AppendBlock(entries)
+	if p.logSink != nil {
+		// Durable mirror, synced immediately: rule 1 of the storage
+		// ordering contract requires the block on stable media before any
+		// in-place write it covers is issued (the caller may issue one as
+		// soon as we return). The crash-rollback closure below does NOT
+		// rewind the mirror — a durable file holding more blocks than the
+		// simulated durable prefix is still a valid recovery point.
+		raw, err := undolog.EncodeBlock(p.log.Last())
+		if err == nil {
+			err = p.logSink.AppendBlock(raw)
+		}
+		if err == nil {
+			err = p.logSink.Sync()
+		}
+		p.noteDurableErr(err)
+	}
 	watermark := p.log.Blocks()
 	var undo func()
 	if p.Functional {
@@ -289,6 +366,15 @@ func (p *PiCL) runACS(now uint64, target mem.EpochID) {
 	}
 	done := p.Persist(now, nvm.OpRandLogWrite, 8, undo)
 	p.pending = append(p.pending, persistRec{target: target, done: done})
+	if p.durable != nil {
+		// Durable marker advance under the full ordering protocol: every
+		// in-place write of epochs <= target was mirrored above (ACS
+		// writebacks) or earlier (evictions, behind their synced undo
+		// blocks), so image sync + log sync + atomic marker replace makes
+		// target recoverable on disk. The disk marker can run ahead of the
+		// simulated one (mirror-at-submit); both are valid recovery points.
+		p.noteDurableErr(p.durable.PersistMarker(target))
+	}
 	if p.Tr != nil {
 		p.Tr.Event(obs.Event{Kind: obs.KindACSDone, Time: now, Dur: done - now,
 			Epoch: target, A: uint64(len(lines))})

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"picl/internal/mem"
+	"picl/internal/storage"
+)
+
+// fakeLogSink counts mirrored block appends and can be armed to fail.
+type fakeLogSink struct {
+	appends int
+	syncs   int
+	err     error
+}
+
+func (f *fakeLogSink) AppendBlock(raw []byte) error {
+	if f.err != nil {
+		return f.err
+	}
+	f.appends++
+	return nil
+}
+
+func (f *fakeLogSink) Sync() error { f.syncs++; return nil }
+
+// workload drives enough stores through the rig to flush several undo
+// blocks and seal a few epochs.
+func workload(r *rig) {
+	for e := 1; e <= 3; e++ {
+		for i := 0; i < 10; i++ {
+			r.store(mem.LineAddr(i), mem.Word(e*100+i))
+		}
+		r.boundary()
+	}
+}
+
+// TestLogSinkMirror: every flushed undo block reaches the installed
+// sink followed by a sync, and clearing the sink stops the mirroring.
+func TestLogSinkMirror(t *testing.T) {
+	r := newRig(t, Config{BufferEntries: 4})
+	s := &fakeLogSink{}
+	r.p.SetLogSink(s)
+	if r.p.Durable() != nil {
+		t.Fatal("plain log sink must not report a durable store")
+	}
+	workload(r)
+	if s.appends == 0 || s.syncs != s.appends {
+		t.Fatalf("appends=%d syncs=%d, want matched nonzero counts", s.appends, s.syncs)
+	}
+	if err := r.p.DurableErr(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.appends
+	r.p.SetLogSink(nil)
+	workload(r)
+	if s.appends != before {
+		t.Fatal("blocks mirrored after sink cleared")
+	}
+}
+
+// TestLogSinkErrSticky: the first mirror failure is surfaced by
+// DurableErr and held across later successes and later failures.
+func TestLogSinkErrSticky(t *testing.T) {
+	r := newRig(t, Config{BufferEntries: 4})
+	first := errors.New("mirror device gone")
+	s := &fakeLogSink{err: first}
+	r.p.SetLogSink(s)
+	workload(r)
+	if got := r.p.DurableErr(); !errors.Is(got, first) {
+		t.Fatalf("DurableErr = %v, want the injected failure", got)
+	}
+	s.err = nil // device "recovers" — the sticky error must not clear
+	workload(r)
+	if got := r.p.DurableErr(); !errors.Is(got, first) {
+		t.Fatalf("DurableErr = %v after recovery, want the first failure held", got)
+	}
+}
+
+// TestSetDurableNilDetaches: clearing the durable store detaches both
+// mirrors — subsequent epochs leave the directory untouched.
+func TestSetDurableNilDetaches(t *testing.T) {
+	r, d := durableRig(t, Config{ACSGap: 1, BufferEntries: 4})
+	if r.p.Durable() != d {
+		t.Fatal("Durable() does not return the attached store")
+	}
+	r.p.SetDurable(nil)
+	if r.p.Durable() != nil {
+		t.Fatal("Durable() non-nil after detach")
+	}
+	workload(r)
+	path := d.Path()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := storage.RecoverDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Marker != 0 || info.BlocksRead != 0 || info.Lines != 0 {
+		t.Fatalf("detached store advanced: %+v", info)
+	}
+}

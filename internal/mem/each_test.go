@@ -1,0 +1,24 @@
+package mem
+
+import "testing"
+
+// TestImageEach: Each visits exactly the non-zero lines, once apiece;
+// a line deleted by writing zero is not visited.
+func TestImageEach(t *testing.T) {
+	im := NewImage()
+	im.Write(3, 30)
+	im.Write(5, 50)
+	im.Write(9, 90)
+	im.Write(5, 0) // delete
+
+	got := map[LineAddr]Word{}
+	im.Each(func(l LineAddr, w Word) {
+		if _, dup := got[l]; dup {
+			t.Fatalf("line %d visited twice", l)
+		}
+		got[l] = w
+	})
+	if len(got) != 2 || got[3] != 30 || got[9] != 90 {
+		t.Fatalf("Each visited %v", got)
+	}
+}

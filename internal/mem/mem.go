@@ -235,6 +235,16 @@ func (im *Image) At(k int) *Image {
 // Len reports how many lines hold non-zero content.
 func (im *Image) Len() int { return len(im.lines) }
 
+// Each calls fn for every line holding non-zero content, in unspecified
+// order. Callers that produce ordered or hashed output must sort; the
+// durable image serialization (internal/storage) is order-insensitive
+// by construction.
+func (im *Image) Each(fn func(LineAddr, Word)) {
+	for l, w := range im.lines {
+		fn(l, w)
+	}
+}
+
 // Clone returns a deep copy of the image (used by the golden checker to
 // snapshot end-of-epoch states in small functional runs).
 func (im *Image) Clone() *Image {

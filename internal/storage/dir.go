@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+
+	"picl/internal/mem"
+	"picl/internal/undolog"
+)
+
+// Well-known file names inside a durable log directory.
+const (
+	LogFileName    = "undo.log"
+	ImageFileName  = "image.dat"
+	MarkerFileName = "marker"
+)
+
+// Dir is a durable PiCL store on a real filesystem: the undo log, the
+// line-granular memory image, and the persisted-epoch marker, living
+// together in one directory. It is what `picl.Open` mounts, what the
+// SIGKILL crash harness leaves behind, and what `picl-recover -log`
+// audits.
+type Dir struct {
+	path string
+	Log  *File
+	Img  *ImageFile
+	Mk   *Marker
+}
+
+// OpenDir opens (creating if absent) a durable store directory.
+func OpenDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	lg, err := OpenFile(filepath.Join(path, LogFileName), 0)
+	if err != nil {
+		return nil, err
+	}
+	img, err := OpenImage(filepath.Join(path, ImageFileName))
+	if err != nil {
+		lg.Close()
+		return nil, err
+	}
+	mk, err := OpenMarker(filepath.Join(path, MarkerFileName))
+	if err != nil {
+		lg.Close()
+		img.Close()
+		return nil, err
+	}
+	return &Dir{path: path, Log: lg, Img: img, Mk: mk}, nil
+}
+
+// Path returns the directory the store lives in.
+func (d *Dir) Path() string { return d.path }
+
+// RecoverInfo summarizes what a durable recovery found and did.
+type RecoverInfo struct {
+	// Marker is the epoch recovered to (the newest durable marker).
+	Marker mem.EpochID
+	// BlocksRead is how many whole, valid log blocks were scanned in.
+	BlocksRead int
+	// TornBytes is how many partial log tail bytes the crash left
+	// behind (discarded at open).
+	TornBytes uint64
+	// Applied and Scanned report the backward undo scan's work.
+	Applied, Scanned int
+	// Lines is the recovered image's non-zero line count.
+	Lines int
+}
+
+// Recover rebuilds the consistent memory image from the directory's
+// durable state: read the marker, load the image, scan the log backward
+// applying every entry covering the marker epoch (paper §IV-B, on real
+// files).
+func (d *Dir) Recover() (*mem.Image, RecoverInfo, error) {
+	marker, err := d.Mk.Get()
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	raw, err := d.Log.ReadAll()
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	l, read, err := undolog.ReadLog(bytes.NewReader(raw), 0)
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	img, err := d.Img.Load()
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	applied, scanned := l.ApplyTo(img, marker)
+	return img, RecoverInfo{
+		Marker:     marker,
+		BlocksRead: read,
+		TornBytes:  d.Log.TornBytes(),
+		Applied:    applied,
+		Scanned:    scanned,
+		Lines:      img.Len(),
+	}, nil
+}
+
+// Reset compacts the store to a fresh epoch-0 baseline holding exactly
+// img: the image file is atomically replaced with the compacted state,
+// the log is emptied, and the marker returns to 0. `picl.Open` calls
+// this after recovery so a new machine's epoch numbering starts clean.
+//
+// Every intermediate crash point is safe: until the image rename lands
+// the old image+log+marker still recover; after it, applying the old
+// log's covering entries to the compacted image is the identity (they
+// patch lines to exactly the end-of-marker values the compaction wrote);
+// once the log is emptied the marker value no longer matters because
+// there are no entries left to apply.
+func (d *Dir) Reset(img *mem.Image) error {
+	imgPath := filepath.Join(d.path, ImageFileName)
+	tmp := imgPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var rec [imageRecBytes]byte
+	werr := error(nil)
+	img.Each(func(l mem.LineAddr, w mem.Word) {
+		if werr != nil {
+			return
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(l))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(w))
+		_, werr = f.Write(rec[:])
+	})
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, imgPath); err != nil {
+		return err
+	}
+	if err := d.Mk.dirf.Sync(); err != nil {
+		return err
+	}
+	if err := d.Img.Close(); err != nil {
+		return err
+	}
+	if d.Img, err = OpenImage(imgPath); err != nil {
+		return err
+	}
+
+	// Fresh, empty log: recreate rather than truncate so the block
+	// numbering restarts at 0 alongside the new machine's epochs.
+	region := d.Log.Super().RegionBytes
+	logPath := filepath.Join(d.path, LogFileName)
+	if err := d.Log.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(logPath); err != nil {
+		return err
+	}
+	if d.Log, err = OpenFile(logPath, region); err != nil {
+		return err
+	}
+	return d.Mk.Set(0)
+}
+
+// PersistMarker durably advances the persisted-epoch marker, enforcing
+// the ordering contract: image first, then log, then the atomic marker
+// replace.
+func (d *Dir) PersistMarker(e mem.EpochID) error {
+	if err := d.Img.Sync(); err != nil {
+		return err
+	}
+	if err := d.Log.Sync(); err != nil {
+		return err
+	}
+	return d.Mk.Set(e)
+}
+
+// Sync flushes image and log staging without moving the marker.
+func (d *Dir) Sync() error {
+	if err := d.Img.Sync(); err != nil {
+		return err
+	}
+	return d.Log.Sync()
+}
+
+// Close syncs and releases every component.
+func (d *Dir) Close() error {
+	err := d.Log.Close()
+	if e := d.Img.Close(); err == nil {
+		err = e
+	}
+	if e := d.Mk.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// RecoverDir is the one-shot read path: open a durable store, recover
+// its consistent image, and close it again (cmd/picl-recover and the
+// crash harness's verifier).
+func RecoverDir(path string) (*mem.Image, RecoverInfo, error) {
+	d, err := OpenDir(path)
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	defer d.Close()
+	return d.Recover()
+}

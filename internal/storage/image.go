@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+
+	"picl/internal/mem"
+)
+
+// imageRecBytes is the on-disk footprint of one image record: the line
+// address and its current content word.
+const imageRecBytes = 16
+
+// ImageFile is the durable line-granular memory image: the on-disk
+// stand-in for the NVM array itself. Each line ever written owns one
+// fixed 16-byte record (line address, content word); the first write to
+// a line appends its record, subsequent writes update the word in
+// place. This keeps the file proportional to the touched footprint
+// instead of the address space, and keeps every update a single aligned
+// 8-byte positional write.
+//
+// Durability is deferred to Sync (fsync); the ordering rules in the
+// package doc explain why a torn or unsynced record is always repaired
+// by the undo scan during recovery.
+type ImageFile struct {
+	f     *os.File
+	slots map[mem.LineAddr]int64 // line -> record index
+	n     int64                  // record count
+	dirty bool
+}
+
+// OpenImage opens (creating if absent) a durable image file. A partial
+// trailing record — a torn crash write — is discarded.
+func OpenImage(path string) (*ImageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	im := &ImageFile{f: f, slots: make(map[mem.LineAddr]int64)}
+	im.n = fi.Size() / imageRecBytes
+	if fi.Size()%imageRecBytes != 0 {
+		if err := f.Truncate(im.n * imageRecBytes); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	buf := make([]byte, imageRecBytes)
+	for i := int64(0); i < im.n; i++ {
+		if _, err := io.ReadFull(io.NewSectionReader(f, i*imageRecBytes, imageRecBytes), buf); err != nil {
+			f.Close()
+			return nil, err
+		}
+		im.slots[mem.LineAddr(binary.LittleEndian.Uint64(buf))] = i
+	}
+	return im, nil
+}
+
+// WriteLine durably mirrors one in-place line write (staged until
+// Sync). It satisfies the checkpoint.LineSink mirror hook.
+func (im *ImageFile) WriteLine(l mem.LineAddr, w mem.Word) error {
+	if idx, ok := im.slots[l]; ok {
+		var word [8]byte
+		binary.LittleEndian.PutUint64(word[:], uint64(w))
+		if _, err := im.f.WriteAt(word[:], idx*imageRecBytes+8); err != nil {
+			return err
+		}
+		im.dirty = true
+		return nil
+	}
+	var rec [imageRecBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(l))
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(w))
+	if _, err := im.f.WriteAt(rec[:], im.n*imageRecBytes); err != nil {
+		return err
+	}
+	im.slots[l] = im.n
+	im.n++
+	im.dirty = true
+	return nil
+}
+
+// Sync makes every mirrored write durable.
+func (im *ImageFile) Sync() error {
+	if !im.dirty {
+		return nil
+	}
+	if err := im.f.Sync(); err != nil {
+		return err
+	}
+	im.dirty = false
+	return nil
+}
+
+// Load reads the durable image into a functional memory image. Records
+// whose word is zero collapse into the image's implicit zero state,
+// matching mem.Image semantics exactly.
+func (im *ImageFile) Load() (*mem.Image, error) {
+	out := mem.NewImage()
+	buf := make([]byte, imageRecBytes)
+	for i := int64(0); i < im.n; i++ {
+		if _, err := io.ReadFull(io.NewSectionReader(im.f, i*imageRecBytes, imageRecBytes), buf); err != nil {
+			return nil, err
+		}
+		out.Write(mem.LineAddr(binary.LittleEndian.Uint64(buf[0:8])),
+			mem.Word(binary.LittleEndian.Uint64(buf[8:16])))
+	}
+	return out, nil
+}
+
+// Lines reports how many lines own records.
+func (im *ImageFile) Lines() int { return len(im.slots) }
+
+// Close syncs and releases the image file.
+func (im *ImageFile) Close() error {
+	if err := im.Sync(); err != nil {
+		im.f.Close()
+		return err
+	}
+	return im.f.Close()
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"picl/internal/mem"
+)
+
+// markerBytes is the persisted-epoch record: epoch (8 B) + CRC32C (4 B),
+// padded to 16 B.
+const markerBytes = 16
+
+var markerTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Marker is the durable persisted-epoch record — the 8-byte pointer the
+// OS reads first during recovery (paper §IV-B). Because recovering to
+// any epoch other than the newest marker is unsound once older undo
+// coverage has been superseded, the marker must never be observable in
+// a torn state; Set therefore replaces the file atomically (write temp,
+// fsync, rename, fsync directory) instead of overwriting in place.
+type Marker struct {
+	path string
+	dirf *os.File // directory handle, fsynced after each rename
+}
+
+// OpenMarker prepares a marker at path (the file itself is created by
+// the first Set; a missing marker reads as epoch 0, the pristine
+// initial state).
+func OpenMarker(path string) (*Marker, error) {
+	dirf, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil, err
+	}
+	return &Marker{path: path, dirf: dirf}, nil
+}
+
+// Set durably records epoch e as the newest fully persisted epoch.
+func (mk *Marker) Set(e mem.EpochID) error {
+	var rec [markerBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(e))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.Checksum(rec[0:8], markerTable))
+	tmp := mk.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(rec[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, mk.path); err != nil {
+		return err
+	}
+	return mk.dirf.Sync()
+}
+
+// Get reads the newest durable persisted epoch: 0 (pristine) when no
+// marker has ever been written, an error when a marker exists but fails
+// validation (rename atomicity makes that corruption, not a crash
+// artifact).
+func (mk *Marker) Get() (mem.EpochID, error) {
+	raw, err := os.ReadFile(mk.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) < 12 {
+		return 0, fmt.Errorf("storage: marker is %d bytes, want >= 12", len(raw))
+	}
+	if crc32.Checksum(raw[0:8], markerTable) != binary.LittleEndian.Uint32(raw[8:12]) {
+		return 0, fmt.Errorf("storage: marker CRC mismatch")
+	}
+	return mem.EpochID(binary.LittleEndian.Uint64(raw[0:8])), nil
+}
+
+// Close releases the directory handle.
+func (mk *Marker) Close() error { return mk.dirf.Close() }

@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"fmt"
+
+	"picl/internal/undolog"
+)
+
+// Mem is the simulated in-NVM log region behind the Backend interface:
+// the byte image a hardware PiCL deployment would find in its log
+// allocation. It accumulates exactly the bytes undolog.Log.WriteTo
+// emits — superblock, then whole blocks — so tests and the recovery
+// tooling can swap it for a File without observing any difference.
+type Mem struct {
+	super  undolog.Super
+	buf    []byte
+	blocks uint64
+}
+
+// NewMem allocates a simulated log region with the given superblock
+// geometry (block numbering starts at super.Start).
+func NewMem(super undolog.Super) *Mem {
+	super.Version = undolog.SuperVersion
+	return &Mem{
+		super:  super,
+		buf:    undolog.EncodeSuper(super),
+		blocks: super.Start,
+	}
+}
+
+// AppendBlock implements Backend.
+func (m *Mem) AppendBlock(raw []byte) error {
+	if err := checkBlock(raw); err != nil {
+		return err
+	}
+	m.buf = append(m.buf, raw...)
+	m.blocks++
+	return nil
+}
+
+// Sync implements Backend: memory regions are always "durable".
+func (m *Mem) Sync() error { return nil }
+
+// Blocks implements Backend.
+func (m *Mem) Blocks() uint64 { return m.blocks }
+
+// ReadAll implements Backend.
+func (m *Mem) ReadAll() ([]byte, error) {
+	out := make([]byte, len(m.buf))
+	copy(out, m.buf)
+	return out, nil
+}
+
+// Truncate implements Backend.
+func (m *Mem) Truncate(n uint64) error {
+	if n < m.super.Start {
+		return fmt.Errorf("storage: truncate to %d below GC'd prefix %d", n, m.super.Start)
+	}
+	if n >= m.blocks {
+		return nil
+	}
+	m.buf = m.buf[:undolog.SuperBytes+(n-m.super.Start)*undolog.BlockBytes]
+	m.blocks = n
+	return nil
+}
+
+// Close implements Backend.
+func (m *Mem) Close() error { return nil }
+
+var _ Backend = (*Mem)(nil)

@@ -1,0 +1,409 @@
+package storage
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picl/internal/mem"
+	"picl/internal/undolog"
+)
+
+// fixtureLog builds a deterministic log: `blocks` full blocks, block i
+// carrying entries valid exactly for epoch i ([i, i+1)).
+func fixtureLog(blocks int) *undolog.Log {
+	l := undolog.NewLog(1 << 20)
+	for b := 0; b < blocks; b++ {
+		entries := make([]undolog.Entry, undolog.EntriesPerBlock)
+		for i := range entries {
+			entries[i] = undolog.Entry{
+				Line:      mem.LineAddr(b*undolog.EntriesPerBlock + i),
+				ValidFrom: mem.EpochID(b),
+				ValidTill: mem.EpochID(b + 1),
+				Old:       mem.PayloadFor(mem.LineAddr(i), mem.EpochID(b), uint64(b)),
+			}
+		}
+		l.AppendBlock(entries)
+	}
+	return l
+}
+
+// goldenRegionSHA pins the simulated backend's durable byte
+// representation (superblock + blocks for fixtureLog(4)). The format is
+// load-bearing: real on-disk logs carry these bytes, so any change here
+// must bump undolog.SuperVersion deliberately.
+const goldenRegionSHA = "d473b861fe0fe70897c2963ec1648ba050b019a3af64ed15a115c1613b148fa8"
+
+func TestGoldenRegionBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := fixtureLog(4).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())); got != goldenRegionSHA {
+		t.Fatalf("durable region digest %s, want committed %s (format change? bump SuperVersion)", got, goldenRegionSHA)
+	}
+}
+
+// openBackends returns one of each Backend implementation, both empty
+// with the same geometry.
+func openBackends(t *testing.T, super undolog.Super) map[string]Backend {
+	t.Helper()
+	lf, err := OpenFile(filepath.Join(t.TempDir(), "undo.log"), super.RegionBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lf.Close() })
+	return map[string]Backend{"mem": NewMem(super), "file": lf}
+}
+
+// TestBackendByteIdentity is the tentpole contract: dumping the same
+// log through the simulated backend and the file backend yields bytes
+// identical to each other and to Log.WriteTo — the in-image
+// representation and the on-disk file are the same format.
+func TestBackendByteIdentity(t *testing.T) {
+	l := fixtureLog(5)
+	var want bytes.Buffer
+	if _, err := l.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range openBackends(t, l.Super()) {
+		if err := DumpLog(l, b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := b.ReadAll()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("%s: backend bytes differ from WriteTo (%d vs %d bytes)", name, len(got), want.Len())
+		}
+		if b.Blocks() != l.Blocks() {
+			t.Fatalf("%s: blocks = %d, want %d", name, b.Blocks(), l.Blocks())
+		}
+	}
+}
+
+// TestBackendContract exercises the shared Backend semantics on both
+// implementations: append/read round trip, truncate, and size checks.
+func TestBackendContract(t *testing.T) {
+	l := fixtureLog(3)
+	var raws [][]byte
+	l.EachBlock(func(b undolog.Block) error {
+		raw, err := undolog.EncodeBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws = append(raws, raw)
+		return nil
+	})
+	for name, b := range openBackends(t, undolog.Super{RegionBytes: 1 << 20}) {
+		if err := b.AppendBlock(make([]byte, 100)); err == nil {
+			t.Fatalf("%s: undersized block accepted", name)
+		}
+		for _, raw := range raws {
+			if err := b.AppendBlock(raw); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if err := b.Sync(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Truncate(5); err != nil {
+			t.Fatalf("%s: truncate past end: %v", name, err)
+		}
+		if b.Blocks() != 3 {
+			t.Fatalf("%s: truncate past end moved the watermark to %d", name, b.Blocks())
+		}
+		if err := b.Truncate(1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := b.ReadAll()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != undolog.SuperBytes+undolog.BlockBytes {
+			t.Fatalf("%s: %d bytes after truncate", name, len(got))
+		}
+		rl, read, err := undolog.ReadLog(bytes.NewReader(got), 0)
+		if err != nil || read != 1 || rl.Blocks() != 1 {
+			t.Fatalf("%s: re-read %d blocks err=%v", name, read, err)
+		}
+	}
+}
+
+// TestMemHonorsGCPrefix: a Mem created from a GC'd log's superblock
+// numbers blocks from the start index, and refuses truncation below it.
+func TestMemHonorsGCPrefix(t *testing.T) {
+	m := NewMem(undolog.Super{RegionBytes: 1 << 20, Start: 7})
+	if m.Blocks() != 7 {
+		t.Fatalf("blocks = %d, want the GC'd prefix 7", m.Blocks())
+	}
+	if err := m.Truncate(3); err == nil {
+		t.Fatal("truncate below GC'd prefix accepted")
+	}
+	raw, _ := undolog.EncodeBlock(undolog.Block{
+		Entries:      []undolog.Entry{{Line: 1, ValidFrom: 8, ValidTill: 9, Old: 42}},
+		MaxValidTill: 9,
+	})
+	if err := m.AppendBlock(raw); err != nil {
+		t.Fatal(err)
+	}
+	all, _ := m.ReadAll()
+	rl, read, err := undolog.ReadLog(bytes.NewReader(all), 0)
+	if err != nil || read != 1 || rl.Start() != 7 || rl.Blocks() != 8 {
+		t.Fatalf("read=%d start=%d blocks=%d err=%v", read, rl.Start(), rl.Blocks(), err)
+	}
+}
+
+// TestFileReopen: blocks survive close/reopen; the watermark and bytes
+// are identical to what was written.
+func TestFileReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "undo.log")
+	l := fixtureLog(4)
+	lf, err := OpenFile(path, l.Super().RegionBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DumpLog(l, lf); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Blocks() != 4 || re.TornBytes() != 0 {
+		t.Fatalf("reopen: blocks=%d torn=%d", re.Blocks(), re.TornBytes())
+	}
+	got, err := re.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	l.WriteTo(&want)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("reopened file bytes differ")
+	}
+}
+
+// TestOpenFileRejectsCorruptSuper: garbage where the superblock belongs
+// is a hard, identifiable error.
+func TestOpenFileRejectsCorruptSuper(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "undo.log")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0xAB}, 500), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, 0); !errors.Is(err, undolog.ErrCorruptSuper) {
+		t.Fatalf("err = %v, want ErrCorruptSuper", err)
+	}
+	if err := os.WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, 0); !errors.Is(err, undolog.ErrCorruptSuper) {
+		t.Fatalf("short file err = %v, want ErrCorruptSuper", err)
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "image.dat")
+	im, err := OpenImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mem.NewImage()
+	for i := 0; i < 200; i++ {
+		l := mem.LineAddr(i % 60) // plenty of in-place overwrites
+		w := mem.PayloadFor(l, 3, uint64(i))
+		if i%17 == 0 {
+			w = 0 // zero writes must collapse to the implicit zero state
+		}
+		if err := im.WriteLine(l, w); err != nil {
+			t.Fatal(err)
+		}
+		want.Write(l, w)
+	}
+	if err := im.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := im.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("live load differs: %v", got.Diff(want, 5))
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err = re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("reopened load differs: %v", got.Diff(want, 5))
+	}
+	if re.Lines() != 60 {
+		t.Fatalf("lines = %d, want 60 records", re.Lines())
+	}
+
+	// Torn trailing record: dropped at open, remaining records intact.
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := OpenImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer torn.Close()
+	if torn.Lines() != 59 {
+		t.Fatalf("after torn record: %d lines, want 59", torn.Lines())
+	}
+}
+
+func TestMarker(t *testing.T) {
+	dir := t.TempDir()
+	mk, err := OpenMarker(filepath.Join(dir, "marker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mk.Close()
+	if e, err := mk.Get(); err != nil || !e.AtMost(0) {
+		t.Fatalf("fresh marker = %d err=%v, want 0", e, err)
+	}
+	for _, e := range []mem.EpochID{1, 2, 5, 9} {
+		if err := mk.Set(e); err != nil {
+			t.Fatal(err)
+		}
+		got, err := mk.Get()
+		if err != nil || got != e {
+			t.Fatalf("get after set(%d) = %d err=%v", e, got, err)
+		}
+	}
+	// Corruption (not a crash artifact, thanks to rename atomicity) is
+	// reported, never silently read.
+	if err := os.WriteFile(filepath.Join(dir, "marker"), bytes.Repeat([]byte{9}, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk.Get(); err == nil {
+		t.Fatal("corrupt marker read without error")
+	}
+}
+
+// TestDirRecoverCycle drives the full durable protocol by hand — image
+// writes, covering undo entries, marker — and checks recovery patches
+// exactly the uncommitted suffix away.
+func TestDirRecoverCycle(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1 state: lines 1..8 hold epoch-1 payloads, persisted.
+	want := mem.NewImage()
+	for i := 1; i <= 8; i++ {
+		w := mem.PayloadFor(mem.LineAddr(i), 1, 0)
+		if err := d.Img.WriteLine(mem.LineAddr(i), w); err != nil {
+			t.Fatal(err)
+		}
+		want.Write(mem.LineAddr(i), w)
+	}
+	if err := d.PersistMarker(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 2 in flight: lines 1..4 overwritten in place, covered by
+	// durable undo entries valid for epoch 1 — then the crash.
+	var entries []undolog.Entry
+	for i := 1; i <= 4; i++ {
+		entries = append(entries, undolog.Entry{
+			Line: mem.LineAddr(i), ValidFrom: 1, ValidTill: 2,
+			Old: want.Read(mem.LineAddr(i)),
+		})
+	}
+	var maxTill mem.EpochID
+	for _, e := range entries {
+		if e.ValidTill.After(maxTill) {
+			maxTill = e.ValidTill
+		}
+	}
+	raw, err := undolog.EncodeBlock(undolog.Block{Entries: entries, MaxValidTill: maxTill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Log.AppendBlock(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := d.Img.WriteLine(mem.LineAddr(i), mem.PayloadFor(mem.LineAddr(i), 2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	img, info, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Marker != 1 || info.BlocksRead != 1 || info.Applied != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !img.Equal(want) {
+		t.Fatalf("recovered image differs: %v", img.Diff(want, 5))
+	}
+
+	// Reset compacts to the recovered baseline: empty log, marker 0,
+	// identical content.
+	d2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Reset(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img2, info2, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Marker.AtMost(0) || info2.BlocksRead != 0 {
+		t.Fatalf("post-reset info = %+v", info2)
+	}
+	if !img2.Equal(want) {
+		t.Fatalf("post-reset image differs: %v", img2.Diff(want, 5))
+	}
+}
+
+// TestRecoverEmptyDir: a store that never existed recovers to the
+// pristine empty state.
+func TestRecoverEmptyDir(t *testing.T) {
+	img, info, err := RecoverDir(filepath.Join(t.TempDir(), "fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Len() != 0 || !info.Marker.AtMost(0) || info.BlocksRead != 0 {
+		t.Fatalf("fresh store: lines=%d info=%+v", img.Len(), info)
+	}
+}

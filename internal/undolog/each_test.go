@@ -1,0 +1,52 @@
+package undolog
+
+import (
+	"errors"
+	"testing"
+
+	"picl/internal/mem"
+)
+
+func twoBlockLog() *Log {
+	l := NewLog(1 << 20)
+	l.AppendBlock([]Entry{{Line: 1, ValidFrom: 0, ValidTill: 1, Old: 10}})
+	l.AppendBlock([]Entry{{Line: 2, ValidFrom: 1, ValidTill: 2, Old: 20}})
+	return l
+}
+
+// TestEachBlock: blocks are visited oldest first and a callback error
+// stops the walk immediately.
+func TestEachBlock(t *testing.T) {
+	l := twoBlockLog()
+	var seen []mem.EpochID
+	if err := l.EachBlock(func(b Block) error {
+		seen = append(seen, b.MaxValidTill)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("walk order %v, want [1 2]", seen)
+	}
+
+	stop := errors.New("stop")
+	calls := 0
+	if err := l.EachBlock(func(Block) error {
+		calls++
+		return stop
+	}); err != stop {
+		t.Fatalf("err = %v, want the callback error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring, want 1", calls)
+	}
+}
+
+// TestLast: Last returns the most recently appended block.
+func TestLast(t *testing.T) {
+	l := twoBlockLog()
+	last := l.Last()
+	if len(last.Entries) != 1 || last.Entries[0].Line != 2 {
+		t.Fatalf("Last = %+v, want the block holding line 2", last)
+	}
+}

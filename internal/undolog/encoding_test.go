@@ -2,6 +2,7 @@ package undolog
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -111,12 +112,16 @@ func TestWriteToReadLogRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != int64(20*BlockBytes) {
+	if n != int64(SuperBytes+20*BlockBytes) {
 		t.Fatalf("wrote %d bytes", n)
 	}
 	got, read, err := ReadLog(&buf, 0)
 	if err != nil || read != 20 {
 		t.Fatalf("read=%d err=%v", read, err)
+	}
+	if got.Blocks() != l.Blocks() || got.Start() != l.Start() {
+		t.Fatalf("watermark lost: got blocks=%d start=%d, want %d/%d",
+			got.Blocks(), got.Start(), l.Blocks(), l.Start())
 	}
 	// Recovery equivalence: both logs patch identically for every epoch.
 	for e := mem.EpochID(0); e <= till; e++ {
@@ -139,7 +144,7 @@ func TestReadLogStopsAtTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Torn tail: the crash interrupted the last 2 KB row write.
-	torn := buf.Bytes()[:BlockBytes+700]
+	torn := buf.Bytes()[:SuperBytes+BlockBytes+700]
 	got, read, err := ReadLog(bytes.NewReader(torn), 0)
 	if err != nil || read != 1 {
 		t.Fatalf("read=%d err=%v, want the single whole block", read, err)
@@ -149,10 +154,105 @@ func TestReadLogStopsAtTornTail(t *testing.T) {
 	}
 	// Corrupt tail (full-size but scribbled): also a clean stop.
 	scribbled := append([]byte(nil), buf.Bytes()...)
-	scribbled[BlockBytes+50] ^= 0xff
+	scribbled[SuperBytes+BlockBytes+50] ^= 0xff
 	got, read, err = ReadLog(bytes.NewReader(scribbled), 0)
 	if err != nil || read != 1 {
 		t.Fatalf("corrupt tail: read=%d err=%v", read, err)
 	}
 	_ = got
+}
+
+// TestSuperRoundTrip pins the superblock codec: geometry and version
+// survive, corruption is detected, and the wrong version is rejected.
+func TestSuperRoundTrip(t *testing.T) {
+	s := Super{Version: SuperVersion, RegionBytes: 1 << 20, Start: 17}
+	raw := EncodeSuper(s)
+	if len(raw) != SuperBytes {
+		t.Fatalf("superblock is %d bytes", len(raw))
+	}
+	got, err := DecodeSuper(raw)
+	if err != nil || got != s {
+		t.Fatalf("round trip: %+v err=%v", got, err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[9] ^= 1
+	if _, err := DecodeSuper(flipped); !errors.Is(err, ErrCorruptSuper) {
+		t.Fatalf("bit flip err = %v, want ErrCorruptSuper", err)
+	}
+	if _, err := DecodeSuper(raw[:10]); !errors.Is(err, ErrCorruptSuper) {
+		t.Fatalf("short super err = %v, want ErrCorruptSuper", err)
+	}
+	// A future format version must be refused, CRC-valid or not.
+	vnext := EncodeSuper(Super{Version: SuperVersion + 1, RegionBytes: 4096})
+	if _, err := DecodeSuper(vnext); !errors.Is(err, ErrCorruptSuper) {
+		t.Fatalf("future version err = %v, want ErrCorruptSuper", err)
+	}
+}
+
+// TestGCPrefixRoundTrip is the fidelity fix this format version exists
+// for: a log whose prefix was garbage-collected must re-read with the
+// same block numbering (start index), so durable watermarks computed
+// before serialization (Blocks, TruncateTo arguments) stay meaningful.
+func TestGCPrefixRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	l := NewLog(0)
+	for till := mem.EpochID(1); till <= 10; till++ {
+		entries := randomEntries(r, EntriesPerBlock)
+		for i := range entries {
+			entries[i].ValidFrom = till - 1
+			entries[i].ValidTill = till
+		}
+		l.AppendBlock(entries)
+	}
+	if freed := l.GC(4); freed != 4*BlockBytes {
+		t.Fatalf("GC freed %d bytes", freed)
+	}
+	if l.Start() != 4 || l.Blocks() != 10 {
+		t.Fatalf("start=%d blocks=%d after GC", l.Start(), l.Blocks())
+	}
+
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, read, err := ReadLog(&buf, 0)
+	if err != nil || read != 6 {
+		t.Fatalf("read=%d err=%v", read, err)
+	}
+	if got.Start() != 4 || got.Blocks() != 10 {
+		t.Fatalf("round trip renumbered: start=%d blocks=%d, want 4/10", got.Start(), got.Blocks())
+	}
+	// The restored watermark must accept the same TruncateTo arguments.
+	got.TruncateTo(8)
+	if got.Blocks() != 8 {
+		t.Fatalf("TruncateTo(8) left %d blocks", got.Blocks())
+	}
+	for e := mem.EpochID(4); e <= 8; e++ {
+		a, b := mem.NewImage(), mem.NewImage()
+		l.ApplyTo(a, e)
+		reread, _, _ := ReadLog(func() *bytes.Buffer { var bb bytes.Buffer; l.WriteTo(&bb); return &bb }(), 0)
+		reread.ApplyTo(b, e)
+		if !a.Equal(b) {
+			t.Fatalf("epoch %d: GC'd log recovers differently after round trip", e)
+		}
+	}
+}
+
+// TestReadLogEmptyAndHeaderless: an empty region is an empty log; a
+// region with garbage where the superblock belongs is unusable.
+func TestReadLogEmptyAndHeaderless(t *testing.T) {
+	l, read, err := ReadLog(bytes.NewReader(nil), 0)
+	if err != nil || read != 0 || l.Blocks() != 0 {
+		t.Fatalf("empty: read=%d blocks=%d err=%v", read, l.Blocks(), err)
+	}
+	if _, _, err := ReadLog(bytes.NewReader(make([]byte, 30)), 0); !errors.Is(err, ErrCorruptSuper) {
+		t.Fatalf("short header err = %v, want ErrCorruptSuper", err)
+	}
+	garbage := make([]byte, SuperBytes+BlockBytes)
+	for i := range garbage {
+		garbage[i] = byte(i * 7)
+	}
+	if _, _, err := ReadLog(bytes.NewReader(garbage), 0); !errors.Is(err, ErrCorruptSuper) {
+		t.Fatalf("garbage header err = %v, want ErrCorruptSuper", err)
+	}
 }

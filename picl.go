@@ -44,6 +44,7 @@ import (
 	"picl/internal/obs"
 	"picl/internal/sim"
 	"picl/internal/stats"
+	"picl/internal/storage"
 )
 
 // Sentinel errors returned (wrapped, with context) by the facade; assert
@@ -63,6 +64,14 @@ var (
 	ErrBadHierarchy = errors.New("picl: invalid cache hierarchy geometry")
 	// ErrNoTrace reports WriteTrace on a machine built without WithTracing.
 	ErrNoTrace = errors.New("picl: tracing not enabled")
+	// ErrBackend reports a durable-backend failure: a storage operation
+	// failed (Open, a mirror write, Close), a backend was combined with a
+	// scheme that cannot drive it, or the machine was used after Close.
+	ErrBackend = errors.New("picl: durable backend error")
+	// ErrTornLog reports a durable log whose superblock is torn or
+	// corrupt — unlike a torn tail block (repaired silently on open), the
+	// log cannot be interpreted at all.
+	ErrTornLog = errors.New("picl: torn or corrupt durable log")
 )
 
 // Config re-exports PiCL's hardware parameters (ACS gap, undo buffer
@@ -87,6 +96,7 @@ type options struct {
 	hierarchy *cache.HierarchyConfig
 	geometry  *[3]LevelGeometry // retained for New's validation
 	traceCap  int
+	backend   Backend
 }
 
 // Option customizes New.
@@ -182,7 +192,14 @@ type Machine struct {
 	ring    *obs.Ring // nil unless WithTracing
 	clock   uint64
 	crashed bool
+	closed  bool
 	ioQueue []pendingIO
+
+	// Durable-mode state (machines built with Open, or New+WithBackend).
+	durable      *storage.Dir
+	durablePiCL  *core.PiCL
+	recoveredImg Image
+	recoveredEID uint64
 }
 
 // pendingIO is an outward-facing write held until its epoch persists.
@@ -220,6 +237,13 @@ func New(opts ...Option) (*Machine, error) {
 	hier := cache.NewHierarchy(hcfg, scheme, scheme)
 	scheme.Attach(hier)
 	m := &Machine{scheme: scheme, hier: hier, ctl: ctl}
+	m.durablePiCL, _ = scheme.(*core.PiCL)
+	if o.backend != nil {
+		if m.durablePiCL == nil {
+			return nil, fmt.Errorf("%w: scheme %q cannot drive a durable backend (need \"picl\")", ErrBackend, scheme.Name())
+		}
+		m.durablePiCL.SetLogSink(o.backend)
+	}
 	if o.traceCap > 0 {
 		m.ring = obs.NewRing(o.traceCap)
 		scheme.SetTracer(m.ring)
@@ -230,8 +254,19 @@ func New(opts ...Option) (*Machine, error) {
 }
 
 func (m *Machine) checkLive() error {
+	if m.closed {
+		return fmt.Errorf("%w: machine is closed", ErrBackend)
+	}
 	if m.crashed {
 		return fmt.Errorf("%w; Recover or build a new one", ErrCrashed)
+	}
+	if m.durablePiCL != nil {
+		// Mirror failures are recorded sticky inside the hot paths (which
+		// cannot return storage errors) and surfaced at the next fallible
+		// operation.
+		if err := m.durablePiCL.DurableErr(); err != nil {
+			return fmt.Errorf("%w: %w", ErrBackend, err)
+		}
 	}
 	return nil
 }
