@@ -1,4 +1,4 @@
-.PHONY: ci vet fmt-check tidy-check lint build test race cover cover-update bench bench-check bench-test crash
+.PHONY: ci vet fmt-check tidy-check lint build test race cover cover-update bench bench-check bench-test crash fuzz
 
 # ci is the tier-1 gate: vet, formatting and go.mod hygiene, the
 # project-specific invariant linter, build everything, the full test
@@ -9,7 +9,7 @@
 # lock violation fails the build exactly like a vet error, and
 # bench-check fails it on a throughput or output-byte regression
 # against the committed BENCH_PR4.json.
-ci: vet fmt-check tidy-check lint build race cover bench-check crash
+ci: vet fmt-check tidy-check lint build race cover bench-check crash fuzz
 
 vet:
 	go vet ./...
@@ -82,3 +82,12 @@ bench-test:
 # prints the single-seed replay invocation.
 crash:
 	go run ./cmd/picl-crash -points 100
+
+# fuzz (part of ci) is the storage fault-injection campaign: 200 seeded
+# fault schedules per mode (sim crash sweeps + injected torn writes,
+# lying fsyncs, ENOSPC, bit rot, power cuts against real store
+# directories), every survivor verified against the golden replay and
+# every recovery checked bit-exactly (see cmd/picl-fuzz and DESIGN.md
+# §11). PICL_FUZZ_LONG=1 scales to the nightly campaign size (x10).
+fuzz:
+	go run ./cmd/picl-fuzz -points 200

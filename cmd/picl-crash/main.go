@@ -8,12 +8,12 @@
 // kills itself with SIGKILL at a PRNG-chosen operation index: no
 // deferred cleanup, no flush-on-exit, exactly what a power cut looks
 // like to the filesystem. The parent then replays the same operation
-// stream in pure application space, reconstructing the golden
-// end-of-epoch memory image for every epoch the child sealed, recovers
-// the directory with the OS recovery procedure, and requires the
-// recovered image to equal the golden image of the epoch the durable
-// marker names (paper §IV-B, against real files instead of the
-// simulated NVM).
+// stream in pure application space (internal/crashplan, shared with the
+// picl-fuzz campaign), reconstructing the golden end-of-epoch memory
+// image for every epoch the child sealed, recovers the directory with
+// the OS recovery procedure, and requires the recovered image to equal
+// the golden image of the epoch the durable marker names (paper §IV-B,
+// against real files instead of the simulated NVM).
 //
 // Every point derives its own seed from the base seed, so a failure
 // minimizes to a single replayable invocation, which the harness prints:
@@ -33,51 +33,9 @@ import (
 	"syscall"
 
 	"picl"
-	"picl/internal/mem"
+	"picl/internal/crashplan"
 	"picl/internal/storage"
 )
-
-// splitmix64 is the harness PRNG: tiny, seedable, and stable across
-// runs, so a crash point is identified by its seed alone.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-type rng struct{ s uint64 }
-
-func (r *rng) next() uint64 { r.s = splitmix64(r.s); return r.s }
-
-// op is one step of the deterministic workload.
-type op struct {
-	line   uint64 // line index (write ops)
-	val    uint64 // value (write ops, never 0)
-	commit bool   // end the epoch after this write
-	sync   bool   // force-persist everything after this write
-}
-
-// plan derives the full workload and the kill point from one seed. The
-// child and the parent's golden replay both call it — the op stream IS
-// the shared truth.
-func plan(seed uint64) (ops []op, killAt int) {
-	r := &rng{s: seed}
-	n := int(80 + r.next()%240) // 80..319 ops
-	ops = make([]op, n)
-	for i := range ops {
-		o := op{line: r.next() % 48, val: r.next() | 1}
-		switch r.next() % 16 {
-		case 0, 1:
-			o.commit = true
-		case 2:
-			o.sync = true
-		}
-		ops[i] = o
-	}
-	killAt = int(r.next() % uint64(n))
-	return ops, killAt
-}
 
 // machineOpts is the child's configuration: small caches so evictions
 // happen, a tiny undo buffer so blocks flush often, and ACS-gap 1 so
@@ -92,24 +50,24 @@ func machineOpts() []picl.Option {
 // runChild executes ops[0:killAt] against a durable store and then
 // SIGKILLs its own process — it never returns.
 func runChild(dir string, seed uint64) {
-	ops, killAt := plan(seed)
+	ops, killAt := crashplan.Plan(seed)
 	m, err := picl.Open(dir, machineOpts()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "child open:", err)
 		os.Exit(3)
 	}
 	for _, o := range ops[:killAt] {
-		if err := m.Write(o.line*64, o.val); err != nil {
+		if err := m.Write(o.Line*64, o.Val); err != nil {
 			fmt.Fprintln(os.Stderr, "child write:", err)
 			os.Exit(3)
 		}
-		if o.commit {
+		if o.Commit {
 			if err := m.CommitEpoch(); err != nil {
 				fmt.Fprintln(os.Stderr, "child commit:", err)
 				os.Exit(3)
 			}
 		}
-		if o.sync {
+		if o.Sync {
 			if _, err := m.Sync(); err != nil {
 				fmt.Fprintln(os.Stderr, "child sync:", err)
 				os.Exit(3)
@@ -121,30 +79,15 @@ func runChild(dir string, seed uint64) {
 	select {} // unreachable; SIGKILL cannot be caught
 }
 
-// golden replays ops[0:killAt] in application space and returns the
-// end-of-epoch images: golden[0] is the pristine empty state, golden[k]
-// the state after the k-th sealed epoch.
-func golden(ops []op, killAt int) []*mem.Image {
-	cur := mem.NewImage()
-	out := []*mem.Image{cur.Clone()}
-	for _, o := range ops[:killAt] {
-		cur.Write(mem.LineAddr(o.line), mem.Word(o.val))
-		if o.commit || o.sync {
-			out = append(out, cur.Clone())
-		}
-	}
-	return out
-}
-
 // verifyPoint checks one crash point's directory against the golden
 // replay. It returns a description of the failure, or "" on success.
 func verifyPoint(dir string, seed uint64) string {
-	ops, killAt := plan(seed)
+	ops, killAt := crashplan.Plan(seed)
 	img, info, err := storage.RecoverDir(dir)
 	if err != nil {
 		return fmt.Sprintf("recovery error: %v", err)
 	}
-	g := golden(ops, killAt)
+	g := crashplan.Golden(ops, killAt)
 	if int(info.Marker) >= len(g) {
 		return fmt.Sprintf("marker %d but only %d epochs sealed before the kill", info.Marker, len(g)-1)
 	}
@@ -154,6 +97,17 @@ func verifyPoint(dir string, seed uint64) string {
 			info.Marker, img.Diff(want, 5), info.BlocksRead, info.Applied, info.TornBytes)
 	}
 	return ""
+}
+
+// diedBySIGKILL reports whether the child process ended with the
+// harness's own SIGKILL. A nil ProcessState (the exec never started)
+// is a failure, not a panic.
+func diedBySIGKILL(cmd *exec.Cmd) bool {
+	if cmd.ProcessState == nil {
+		return false
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	return ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL
 }
 
 func main() {
@@ -178,7 +132,7 @@ func main() {
 	}
 
 	if *child != "" {
-		runChild(*child, splitmix64(*seed))
+		runChild(*child, crashplan.Splitmix64(*seed))
 		return
 	}
 
@@ -201,14 +155,14 @@ func main() {
 		pointSeed := *seed + uint64(i)
 		dir := filepath.Join(work, fmt.Sprintf("point%04d", i))
 		cmd := exec.Command(self, "-child", dir, "-seed", fmt.Sprint(pointSeed))
-		out, err := cmd.CombinedOutput()
-		ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
-		if err == nil || !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		out, _ := cmd.CombinedOutput()
+		if !diedBySIGKILL(cmd) {
 			failures++
-			fmt.Printf("point %3d: child did not die by SIGKILL (%v)\n%s", i, cmd.ProcessState, out)
+			fmt.Printf("point %3d: FAIL: child did not die by SIGKILL (%v)\n          replay: picl-crash -points 1 -seed %d\n%s",
+				i, cmd.ProcessState, pointSeed, out)
 			continue
 		}
-		if msg := verifyPoint(dir, splitmix64(pointSeed)); msg != "" {
+		if msg := verifyPoint(dir, crashplan.Splitmix64(pointSeed)); msg != "" {
 			failures++
 			fmt.Printf("point %3d: FAIL: %s\n          replay: picl-crash -points 1 -seed %d\n", i, msg, pointSeed)
 			continue

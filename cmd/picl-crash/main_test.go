@@ -9,7 +9,8 @@ import (
 	"sync"
 	"testing"
 
-	"picl/internal/mem"
+	"picl"
+	"picl/internal/crashplan"
 )
 
 var (
@@ -54,49 +55,6 @@ func run(t *testing.T, args ...string) (string, string, int) {
 	return stdout.String(), stderr.String(), code
 }
 
-// TestPlanDeterministic: the whole harness rests on plan(seed) being a
-// pure function — the child executes it, the parent replays it.
-func TestPlanDeterministic(t *testing.T) {
-	for seed := uint64(0); seed < 50; seed++ {
-		a, ka := plan(splitmix64(seed))
-		b, kb := plan(splitmix64(seed))
-		if ka != kb || len(a) != len(b) {
-			t.Fatalf("seed %d: plan not deterministic", seed)
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("seed %d: op %d differs", seed, i)
-			}
-		}
-		if ka >= len(a) {
-			t.Fatalf("seed %d: kill point %d beyond %d ops", seed, ka, len(a))
-		}
-	}
-}
-
-// TestGoldenReplay: golden() seals a snapshot per commit/sync and the
-// snapshots are genuine copies (later writes don't alias in).
-func TestGoldenReplay(t *testing.T) {
-	ops := []op{
-		{line: 1, val: 10, commit: true},
-		{line: 1, val: 20, sync: true},
-		{line: 2, val: 30},
-	}
-	g := golden(ops, len(ops))
-	if len(g) != 3 {
-		t.Fatalf("%d snapshots, want 3", len(g))
-	}
-	if g[0].Len() != 0 {
-		t.Fatal("epoch 0 not pristine")
-	}
-	if g[1].Read(mem.LineAddr(1)) != 10 || g[2].Read(mem.LineAddr(1)) != 20 {
-		t.Fatal("snapshots aliased or misordered")
-	}
-	if g[2].Read(mem.LineAddr(2)) != 0 {
-		t.Fatal("uncommitted write leaked into sealed snapshot")
-	}
-}
-
 // TestSmokeCrashPoints SIGKILLs a handful of real child processes and
 // requires every recovery to verify. This is the in-tree slice of the
 // CI `make crash` gate (100+ points).
@@ -136,5 +94,67 @@ func TestSmokeVerifyMode(t *testing.T) {
 	}
 	if !strings.Contains(out, "marker epoch") || !strings.Contains(out, "blocks read") {
 		t.Fatalf("unexpected -verify output:\n%s", out)
+	}
+}
+
+// TestDiedBySIGKILL: the harness only trusts a child that died by its
+// own SIGKILL — clean exits, other signals, and a command that never
+// started (nil ProcessState) are all verification failures.
+func TestDiedBySIGKILL(t *testing.T) {
+	never := exec.Command("/nonexistent-binary-for-picl-crash-test")
+	_ = never.Run()
+	if diedBySIGKILL(never) {
+		t.Fatal("a command that never started counted as SIGKILLed")
+	}
+	clean := exec.Command("true")
+	if err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if diedBySIGKILL(clean) {
+		t.Fatal("a clean exit counted as SIGKILLed")
+	}
+	killed := exec.Command("sh", "-c", "kill -KILL $$")
+	_ = killed.Run()
+	if !diedBySIGKILL(killed) {
+		t.Fatalf("SIGKILL not recognized: %v", killed.ProcessState)
+	}
+}
+
+// TestVerifyPointInProcess drives the child's exact op stream in-process
+// and abandons the store without Close — the same durable state a
+// SIGKILL leaves behind — then requires verifyPoint to accept it, and to
+// reject the directory once its marker is scribbled.
+func TestVerifyPointInProcess(t *testing.T) {
+	seed := crashplan.Splitmix64(41)
+	dir := filepath.Join(t.TempDir(), "store")
+	ops, killAt := crashplan.Plan(seed)
+	m, err := picl.Open(dir, machineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ops[:killAt] {
+		if err := m.Write(o.Line*64, o.Val); err != nil {
+			t.Fatal(err)
+		}
+		if o.Commit {
+			if err := m.CommitEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if o.Sync {
+			if _, err := m.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// No Close: the machine is abandoned mid-flight like a killed child.
+	if msg := verifyPoint(dir, seed); msg != "" {
+		t.Fatalf("abandoned store failed verification: %s", msg)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "marker"), bytes.Repeat([]byte{7}, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if msg := verifyPoint(dir, seed); !strings.Contains(msg, "recovery error") {
+		t.Fatalf("scribbled marker passed verification: %q", msg)
 	}
 }

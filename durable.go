@@ -52,11 +52,25 @@ func OpenLogBackend(path string, regionBytes uint64) (Backend, error) {
 // after a crash of the whole process — use Open.
 func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
 
+// StoreWrapper intercepts a durable store's three components (undo log,
+// image file, marker) with arbitrary middleware. Its one in-tree
+// implementation is the deterministic fault injector
+// (internal/storage/fault), which the crash-fuzz campaign uses to
+// subject a live machine to torn appends, failing syncs, bit rot, and
+// scheduled power cuts.
+type StoreWrapper = storage.Wrapper
+
+// WithStoreWrapper installs a component wrapper on the durable store a
+// machine is Opened over. Only meaningful with Open; New ignores it
+// (there is no store to wrap).
+func WithStoreWrapper(w StoreWrapper) Option { return func(o *options) { o.wrapper = w } }
+
 // wrapStorageErr maps storage-layer failures onto the facade's
-// sentinels: a corrupt superblock is ErrTornLog, anything else
+// sentinels: an uninterpretable log (corrupt superblock, or mid-log
+// corruption that cannot be a torn tail) is ErrTornLog, anything else
 // ErrBackend.
 func wrapStorageErr(err error) error {
-	if errors.Is(err, undolog.ErrCorruptSuper) {
+	if errors.Is(err, undolog.ErrCorruptSuper) || errors.Is(err, undolog.ErrCorruptBlock) {
 		return fmt.Errorf("%w: %w", ErrTornLog, err)
 	}
 	return fmt.Errorf("%w: %w", ErrBackend, err)
@@ -110,6 +124,13 @@ func Open(path string, opts ...Option) (*Machine, error) {
 	if err != nil {
 		d.Close()
 		return nil, err
+	}
+	// Fault middleware wraps after recovery and reset (both run against
+	// the real files — the injector models failures of the NEW machine's
+	// writes, not of the recovery read path) and before the store is
+	// attached, so every mirrored operation flows through it.
+	if probe.wrapper != nil {
+		d.Wrap(probe.wrapper)
 	}
 	// New with scheme "picl" always yields a *core.PiCL.
 	m.durablePiCL.SeedImage(img)

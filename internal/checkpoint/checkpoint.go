@@ -116,9 +116,11 @@ type Base struct {
 	crashed    bool
 
 	// sink, when non-nil, receives a durable mirror of every in-place
-	// line write. The first mirror failure is recorded sticky in sinkErr
-	// (the hot path cannot return storage errors); callers surface it at
-	// the next fallible operation.
+	// line write. The first mirror failure — from this sink or noted by
+	// the scheme for its own mirrors via NoteDurableErr — is recorded
+	// sticky in sinkErr (the hot paths cannot return storage errors).
+	// Once set, all mirroring stops: the on-disk store freezes at its
+	// last consistent state and the facade degrades to read-only.
 	sink    LineSink
 	sinkErr error
 }
@@ -209,9 +211,12 @@ func (b *Base) PersistLineWrite(now uint64, op nvm.Op, l mem.LineAddr, data mem.
 	}
 	old := b.Cur.Read(l)
 	b.Cur.Write(l, data)
-	if b.sink != nil {
-		if err := b.sink.WriteLine(l, data); err != nil && b.sinkErr == nil {
-			b.sinkErr = err
+	// Mirror only while the store is healthy: after a sticky failure the
+	// on-disk image must freeze in the state its last durable marker
+	// covers, not accumulate writes whose undo coverage never made it.
+	if b.sink != nil && b.sinkErr == nil {
+		if err := b.sink.WriteLine(l, data); err != nil {
+			b.NoteDurableErr(now, err)
 		}
 	}
 	return b.Persist(now, op, mem.LineSize, func() { b.Cur.Write(l, old) })
@@ -221,8 +226,24 @@ func (b *Base) PersistLineWrite(now uint64, op nvm.Op, l mem.LineAddr, data mem.
 // in-place line writes. Install before the run starts.
 func (b *Base) SetLineSink(s LineSink) { b.sink = s }
 
-// SinkErr reports the first durable-mirror failure, if any.
+// SinkErr reports the first durable-mirror failure, if any — the sticky
+// degraded-mode cause shared by the line sink and the scheme's own
+// mirrors (NoteDurableErr).
 func (b *Base) SinkErr() error { return b.sinkErr }
+
+// NoteDurableErr records the first durable-mirror failure and emits the
+// degraded-mode event. Later errors are dropped: the first failure is
+// the cause, everything after it is a consequence of the store already
+// being behind.
+func (b *Base) NoteDurableErr(now uint64, err error) {
+	if err == nil || b.sinkErr != nil {
+		return
+	}
+	b.sinkErr = err
+	if b.Tr != nil {
+		b.Tr.Event(obs.Event{Kind: obs.KindDegraded, Time: now, Epoch: b.System})
+	}
+}
 
 // SeedImage replaces the current NVM content with img (functional mode
 // only): `picl.Open` seeds a freshly constructed machine with the image

@@ -6,6 +6,7 @@ import (
 
 	"picl/internal/mem"
 	"picl/internal/nvm"
+	"picl/internal/obs"
 )
 
 // recSink records mirrored line writes and can be armed to fail.
@@ -83,5 +84,32 @@ func TestSeedImage(t *testing.T) {
 	timing.SeedImage(img)
 	if timing.Cur != nil {
 		t.Fatal("timing-only base adopted a functional image")
+	}
+}
+
+// TestNoteDurableErr: the shared degraded-mode cause is first-error
+// sticky, ignores nil, and emits exactly one degraded trace event.
+func TestNoteDurableErr(t *testing.T) {
+	b := newBase(true)
+	tr := obs.NewRing(16)
+	b.SetTracer(tr)
+	b.NoteDurableErr(1, nil)
+	if b.SinkErr() != nil {
+		t.Fatal("nil error recorded")
+	}
+	first := errors.New("media gone")
+	b.NoteDurableErr(2, first)
+	b.NoteDurableErr(3, errors.New("later"))
+	if got := b.SinkErr(); got != first {
+		t.Fatalf("SinkErr = %v, want the first failure", got)
+	}
+	degraded := 0
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindDegraded {
+			degraded++
+		}
+	}
+	if degraded != 1 {
+		t.Fatalf("%d degraded events, want exactly 1", degraded)
 	}
 }

@@ -96,11 +96,12 @@ type PiCL struct {
 	// logSink, when non-nil, receives a durable mirror of every flushed
 	// undo block; durable, when non-nil, additionally mirrors the
 	// persisted-epoch marker (and, via Base's line sink, the image).
-	// Mirror failures are sticky in durableErr — the store/eviction hot
-	// paths cannot return storage errors.
-	logSink    LogSink
-	durable    *storage.Dir
-	durableErr error
+	// Mirror failures are sticky in Base's sink error (NoteDurableErr) —
+	// the store/eviction hot paths cannot return storage errors — and
+	// once sticky every mirror site goes quiet, freezing the on-disk
+	// store at its last consistent marker.
+	logSink LogSink
+	durable *storage.Dir
 
 	// Per-event counter handles for the store/eviction fast paths.
 	cUndo, cBufFlush, cDepFlush, cEvictWB stats.Handle
@@ -163,19 +164,34 @@ func (p *PiCL) Durable() *storage.Dir { return p.durable }
 
 // DurableErr reports the first durable-mirror failure, if any: once a
 // mirror write fails the on-disk store is behind the simulated state
-// and must not be trusted past its own marker.
-func (p *PiCL) DurableErr() error {
-	if p.durableErr != nil {
-		return p.durableErr
-	}
-	return p.SinkErr()
-}
+// and must not be trusted past its own marker. The machine itself keeps
+// running — the facade degrades writes to ErrBackend while reads and
+// stats stay live (read-only degraded mode).
+func (p *PiCL) DurableErr() error { return p.SinkErr() }
 
-// noteDurableErr records the first mirror failure.
-func (p *PiCL) noteDurableErr(err error) {
-	if err != nil && p.durableErr == nil {
-		p.durableErr = err
+// SyncRetries bounds the deterministic retry of transient durable-sync
+// failures: each failed sync/marker operation is retried up to this many
+// times (same machine state, so the retry sequence is reproducible)
+// before the error goes sticky and the machine degrades.
+const SyncRetries = 2
+
+// retryDurable runs op, retrying a failure up to SyncRetries times.
+// Simulated power loss is never retried — after a power cut there is no
+// device left to retry against, and the injector would mis-count the
+// extra attempts.
+func (p *PiCL) retryDurable(now uint64, op func() error) error {
+	err := op()
+	for attempt := 1; err != nil && attempt <= SyncRetries; attempt++ {
+		if errors.Is(err, storage.ErrPowerLost) {
+			return err
+		}
+		if p.Tr != nil {
+			p.Tr.Event(obs.Event{Kind: obs.KindMirrorRetry, Time: now, Epoch: p.System, A: uint64(attempt)})
+		}
+		p.C.Add("mirror_retries", 1)
+		err = op()
 	}
+	return err
 }
 
 // Fill implements cache.Backend: a demand read from NVM.
@@ -244,21 +260,24 @@ func (p *PiCL) flushBuffer(now uint64) uint64 {
 	}
 	stall := p.MaybeStall(now)
 	p.log.AppendBlock(entries)
-	if p.logSink != nil {
+	if p.logSink != nil && p.DurableErr() == nil {
 		// Durable mirror, synced immediately: rule 1 of the storage
 		// ordering contract requires the block on stable media before any
 		// in-place write it covers is issued (the caller may issue one as
 		// soon as we return). The crash-rollback closure below does NOT
 		// rewind the mirror — a durable file holding more blocks than the
 		// simulated durable prefix is still a valid recovery point.
+		// Transient sync failures get a bounded retry; append failures do
+		// not (a short append leaves a torn tail whose re-append would
+		// interleave garbage, so the store degrades immediately).
 		raw, err := undolog.EncodeBlock(p.log.Last())
 		if err == nil {
 			err = p.logSink.AppendBlock(raw)
 		}
 		if err == nil {
-			err = p.logSink.Sync()
+			err = p.retryDurable(now, p.logSink.Sync)
 		}
-		p.noteDurableErr(err)
+		p.NoteDurableErr(now, err)
 	}
 	watermark := p.log.Blocks()
 	var undo func()
@@ -366,14 +385,18 @@ func (p *PiCL) runACS(now uint64, target mem.EpochID) {
 	}
 	done := p.Persist(now, nvm.OpRandLogWrite, 8, undo)
 	p.pending = append(p.pending, persistRec{target: target, done: done})
-	if p.durable != nil {
+	if p.durable != nil && p.DurableErr() == nil {
 		// Durable marker advance under the full ordering protocol: every
 		// in-place write of epochs <= target was mirrored above (ACS
 		// writebacks) or earlier (evictions, behind their synced undo
 		// blocks), so image sync + log sync + atomic marker replace makes
 		// target recoverable on disk. The disk marker can run ahead of the
 		// simulated one (mirror-at-submit); both are valid recovery points.
-		p.noteDurableErr(p.durable.PersistMarker(target))
+		// Gated on a healthy mirror: advancing the marker past writes that
+		// never reached the store would certify an unrecoverable state.
+		p.NoteDurableErr(now, p.retryDurable(now, func() error {
+			return p.durable.PersistMarker(target)
+		}))
 	}
 	if p.Tr != nil {
 		p.Tr.Event(obs.Event{Kind: obs.KindACSDone, Time: now, Dur: done - now,

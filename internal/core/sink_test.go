@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"picl/internal/mem"
+	"picl/internal/obs"
 	"picl/internal/storage"
 )
 
@@ -100,5 +102,107 @@ func TestSetDurableNilDetaches(t *testing.T) {
 	}
 	if info.Marker != 0 || info.BlocksRead != 0 || info.Lines != 0 {
 		t.Fatalf("detached store advanced: %+v", info)
+	}
+}
+
+// flakySink: AppendBlock always succeeds; Sync fails the first failN
+// calls, then succeeds. Models a transient device hiccup.
+type flakySink struct {
+	appends int
+	syncs   int
+	failN   int
+	err     error
+}
+
+func (f *flakySink) AppendBlock(raw []byte) error { f.appends++; return nil }
+
+func (f *flakySink) Sync() error {
+	f.syncs++
+	if f.syncs <= f.failN {
+		return f.err
+	}
+	return nil
+}
+
+func countKind(events []obs.Event, k obs.Kind) int {
+	n := 0
+	for _, ev := range events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSyncRetryTransient: a sync failure that clears within the retry
+// budget is absorbed — the machine stays healthy, and each retry is
+// visible in the event stream.
+func TestSyncRetryTransient(t *testing.T) {
+	r := newRig(t, Config{BufferEntries: 4})
+	ring := obs.NewRing(1 << 12)
+	r.p.SetTracer(ring)
+	s := &flakySink{failN: SyncRetries, err: errors.New("transient sync hiccup")}
+	r.p.SetLogSink(s)
+	workload(r)
+	if err := r.p.DurableErr(); err != nil {
+		t.Fatalf("DurableErr = %v, want transient failure absorbed by retry", err)
+	}
+	if s.appends == 0 || s.syncs != s.appends+SyncRetries {
+		t.Fatalf("appends=%d syncs=%d, want syncs = appends + %d retries", s.appends, s.syncs, SyncRetries)
+	}
+	ev := ring.Events()
+	if got := countKind(ev, obs.KindMirrorRetry); got != SyncRetries {
+		t.Fatalf("mirror_retry events = %d, want %d", got, SyncRetries)
+	}
+	if got := countKind(ev, obs.KindDegraded); got != 0 {
+		t.Fatalf("degraded events = %d on a healthy machine", got)
+	}
+}
+
+// TestSyncRetryExhausted: a sync failure outlasting the retry budget
+// goes sticky after exactly 1+SyncRetries attempts, emits one degraded
+// event, and silences every later mirror call — the store freezes.
+func TestSyncRetryExhausted(t *testing.T) {
+	r := newRig(t, Config{BufferEntries: 4})
+	ring := obs.NewRing(1 << 12)
+	r.p.SetTracer(ring)
+	cause := errors.New("device unplugged")
+	s := &flakySink{failN: 1 << 30, err: cause}
+	r.p.SetLogSink(s)
+	workload(r)
+	if got := r.p.DurableErr(); !errors.Is(got, cause) {
+		t.Fatalf("DurableErr = %v, want the injected failure", got)
+	}
+	if s.appends != 1 || s.syncs != 1+SyncRetries {
+		t.Fatalf("appends=%d syncs=%d, want mirroring frozen after the first flush's %d attempts",
+			s.appends, s.syncs, 1+SyncRetries)
+	}
+	ev := ring.Events()
+	if got := countKind(ev, obs.KindDegraded); got != 1 {
+		t.Fatalf("degraded events = %d, want exactly 1", got)
+	}
+	workload(r) // still frozen on later epochs
+	if s.appends != 1 {
+		t.Fatal("mirror resumed after sticky failure")
+	}
+}
+
+// TestPowerLossNotRetried: simulated power loss must not be retried —
+// there is no device behind it anymore.
+func TestPowerLossNotRetried(t *testing.T) {
+	r := newRig(t, Config{BufferEntries: 4})
+	ring := obs.NewRing(1 << 12)
+	r.p.SetTracer(ring)
+	s := &flakySink{failN: 1 << 30, err: fmt.Errorf("%w: op 7", storage.ErrPowerLost)}
+	r.p.SetLogSink(s)
+	workload(r)
+	if got := r.p.DurableErr(); !errors.Is(got, storage.ErrPowerLost) {
+		t.Fatalf("DurableErr = %v, want ErrPowerLost", got)
+	}
+	if s.syncs != 1 {
+		t.Fatalf("syncs=%d, want 1 (power loss never retried)", s.syncs)
+	}
+	if got := countKind(ring.Events(), obs.KindMirrorRetry); got != 0 {
+		t.Fatalf("mirror_retry events = %d for power loss", got)
 	}
 }

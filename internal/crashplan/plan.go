@@ -1,0 +1,80 @@
+// Package crashplan derives deterministic crash-test workloads from a
+// single seed. It is the shared truth between every process of the
+// robustness harnesses: cmd/picl-crash's child executes Plan(seed), its
+// parent replays the same plan in application space with Golden, and
+// cmd/picl-fuzz drives the identical op stream through a fault-injected
+// store — so any failure anywhere minimizes to one replayable seed.
+package crashplan
+
+import "picl/internal/mem"
+
+// Splitmix64 is the harness PRNG step: tiny, seedable, and stable
+// across runs, so a crash point is identified by its seed alone.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RNG is a splitmix64 stream.
+type RNG struct{ S uint64 }
+
+// Next advances the stream and returns the next value.
+func (r *RNG) Next() uint64 { r.S = Splitmix64(r.S); return r.S }
+
+// Op is one step of the deterministic workload: a line write,
+// optionally followed by an epoch commit or a forced sync.
+type Op struct {
+	Line   uint64 // line index
+	Val    uint64 // value, never 0
+	Commit bool   // end the epoch after this write
+	Sync   bool   // force-persist everything after this write
+}
+
+// Plan derives the full workload and the kill point from one seed:
+// 80..319 ops over 48 lines, a commit every ~8 ops, a sync every ~16.
+func Plan(seed uint64) (ops []Op, killAt int) {
+	r := &RNG{S: seed}
+	n := int(80 + r.Next()%240)
+	ops = make([]Op, n)
+	for i := range ops {
+		o := Op{Line: r.Next() % 48, Val: r.Next() | 1}
+		switch r.Next() % 16 {
+		case 0, 1:
+			o.Commit = true
+		case 2:
+			o.Sync = true
+		}
+		ops[i] = o
+	}
+	killAt = int(r.Next() % uint64(n))
+	return ops, killAt
+}
+
+// Golden replays ops[0:upto] in application space and returns the
+// end-of-epoch images: Golden(ops, k)[0] is the pristine empty state,
+// [e] the state after the e-th sealed epoch (each Commit or Sync seals
+// one). Snapshots are genuine copies — later writes never alias in.
+func Golden(ops []Op, upto int) []*mem.Image {
+	cur := mem.NewImage()
+	out := []*mem.Image{cur.Clone()}
+	for _, o := range ops[:upto] {
+		cur.Write(mem.LineAddr(o.Line), mem.Word(o.Val))
+		if o.Commit || o.Sync {
+			out = append(out, cur.Clone())
+		}
+	}
+	return out
+}
+
+// Final replays every op and returns the last application-visible
+// state — what a clean shutdown (which force-persists the tail epoch)
+// must recover to.
+func Final(ops []Op) *mem.Image {
+	cur := mem.NewImage()
+	for _, o := range ops {
+		cur.Write(mem.LineAddr(o.Line), mem.Word(o.Val))
+	}
+	return cur
+}

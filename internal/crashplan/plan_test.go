@@ -1,0 +1,64 @@
+package crashplan
+
+import (
+	"testing"
+
+	"picl/internal/mem"
+)
+
+// TestPlanDeterministic: every harness rests on Plan(seed) being a pure
+// function — crash children execute it, parents replay it.
+func TestPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, ka := Plan(Splitmix64(seed))
+		b, kb := Plan(Splitmix64(seed))
+		if ka != kb || len(a) != len(b) {
+			t.Fatalf("seed %d: plan not deterministic", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: op %d differs", seed, i)
+			}
+		}
+		if ka >= len(a) {
+			t.Fatalf("seed %d: kill point %d beyond %d ops", seed, ka, len(a))
+		}
+	}
+}
+
+// TestGoldenReplay: Golden seals a snapshot per commit/sync and the
+// snapshots are genuine copies (later writes don't alias in).
+func TestGoldenReplay(t *testing.T) {
+	ops := []Op{
+		{Line: 1, Val: 10, Commit: true},
+		{Line: 1, Val: 20, Sync: true},
+		{Line: 2, Val: 30},
+	}
+	g := Golden(ops, len(ops))
+	if len(g) != 3 {
+		t.Fatalf("%d snapshots, want 3", len(g))
+	}
+	if g[0].Len() != 0 {
+		t.Fatal("epoch 0 not pristine")
+	}
+	if g[1].Read(mem.LineAddr(1)) != 10 || g[2].Read(mem.LineAddr(1)) != 20 {
+		t.Fatal("snapshots aliased or misordered")
+	}
+	if g[2].Read(mem.LineAddr(2)) != 0 {
+		t.Fatal("uncommitted write leaked into sealed snapshot")
+	}
+}
+
+// TestFinal: Final is the full-replay application state — the clean
+// shutdown target.
+func TestFinal(t *testing.T) {
+	ops := []Op{
+		{Line: 1, Val: 10, Commit: true},
+		{Line: 1, Val: 20},
+		{Line: 2, Val: 30},
+	}
+	f := Final(ops)
+	if f.Read(mem.LineAddr(1)) != 20 || f.Read(mem.LineAddr(2)) != 30 {
+		t.Fatalf("final state wrong: %v", f)
+	}
+}

@@ -61,7 +61,7 @@ func (r *Runner) AvailabilityReport(benches []string) (*stats.Table, error) {
 	// inspected post-run and not memoized, so parallelize them directly,
 	// outside the sweep (the sweep's recording pass replays its body).
 	recSec := make([]float64, len(benches))
-	err := r.forEach(len(benches), func(i int) error {
+	err := r.ForEach(len(benches), func(i int) error {
 		cfg, err := r.buildConfig("picl", []string{benches[i]})
 		if err != nil {
 			return err

@@ -452,12 +452,12 @@ func (r *Runner) MustRun(scheme string, benches []string, opts ...Opt) *sim.Resu
 	return res
 }
 
-// forEach runs fn(i) for i in [0, n) across the runner's worker pool and
-// returns the first error. It parallelizes non-memoized work (the
-// recovery-latency machines, which are built fresh each time) with the
-// same width as the sweep engine; fn must only write state it owns (its
-// index's slot of a results slice).
-func (r *Runner) forEach(n int, fn func(i int) error) error {
+// ForEach runs fn(i) for i in [0, n) across the runner's worker pool and
+// returns the first error. It parallelizes non-memoized work — the
+// recovery-latency machines, and the picl-fuzz campaign's per-seed
+// fault runs — with the same width as the sweep engine; fn must only
+// write state it owns (its index's slot of a results slice).
+func (r *Runner) ForEach(n int, fn func(i int) error) error {
 	workers := r.jobs()
 	if workers > n {
 		workers = n

@@ -511,7 +511,7 @@ func (r *Runner) RecoveryLatency(benches []string) (*stats.Table, error) {
 	// built fresh rather than memoized; parallelize them directly.
 	type rowVals struct{ liveMB, recoveryMs float64 }
 	rows := make([]rowVals, len(benches))
-	err := r.forEach(len(benches), func(i int) error {
+	err := r.ForEach(len(benches), func(i int) error {
 		cfg, err := r.buildConfig("picl", []string{benches[i]})
 		if err != nil {
 			return err

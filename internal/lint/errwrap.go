@@ -11,9 +11,12 @@ import (
 // ErrWrap keeps the facade's error contract honest. PR-1 introduced
 // package-level sentinels (picl.ErrCrashed, picl.ErrNeedCore, ...) whose
 // documented contract is errors.Is matching. That contract breaks in two
-// quiet ways: comparing a returned error to a sentinel with == (fails on
-// any wrapped error) and re-wrapping a sentinel through fmt.Errorf
-// without %w (strips the chain so errors.Is stops matching downstream).
+// quiet ways: comparing a returned error to a sentinel with == — as a
+// binary expression or as a `switch err { case ErrX: }` clause, which is
+// the same comparison in disguise (fails on any wrapped error, and the
+// fault injector wraps all of its sentinels) — and re-wrapping a
+// sentinel through fmt.Errorf without %w (strips the chain so errors.Is
+// stops matching downstream).
 var ErrWrap = &Analyzer{
 	Name: "errwrap",
 	Doc:  "module error sentinels must be wrapped with %w and matched with errors.Is, never == or bare fmt.Errorf",
@@ -53,6 +56,23 @@ func runErrWrap(pass *Pass) {
 				if obj != nil {
 					pass.Reportf(n.OpPos,
 						"%s against sentinel %s misses wrapped errors; use errors.Is", n.Op, obj.Name())
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } compares with == per clause.
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := sentinelOperand(info, e); obj != nil {
+							pass.Reportf(e.Pos(),
+								"switch case compares sentinel %s with ==, missing wrapped errors; use errors.Is", obj.Name())
+						}
+					}
 				}
 			case *ast.CallExpr:
 				fn := calleeFunc(info, n)

@@ -126,6 +126,7 @@ func TestErrWrapGolden(t *testing.T) {
 		{15, "errwrap"}, // err == ErrSeed
 		{17, "errwrap"}, // err != ErrSeed
 		{19, "errwrap"}, // fmt.Errorf %v of a sentinel
+		{34, "errwrap"}, // switch err { case ErrSeed: }
 	})
 }
 

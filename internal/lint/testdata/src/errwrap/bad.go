@@ -28,3 +28,30 @@ func suppressed(err error) bool {
 	//lint:ignore errwrap identity check against the unwrapped sentinel is the point of this test
 	return err == ErrSeed
 }
+
+func switchBad(err error) string {
+	switch err {
+	case ErrSeed:
+		return "seed"
+	case nil:
+		return "nil"
+	}
+	return "other"
+}
+
+func switchTaglessOK(err error) string {
+	switch {
+	case errors.Is(err, ErrSeed):
+		return "seed"
+	}
+	return "other"
+}
+
+func switchSuppressed(err error) string {
+	switch err {
+	//lint:ignore errwrap identity dispatch on the unwrapped sentinel is this test's point
+	case ErrSeed:
+		return "seed"
+	}
+	return "other"
+}

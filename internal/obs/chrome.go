@@ -40,7 +40,8 @@ func trackOf(k Kind) int {
 	switch k {
 	case KindEpochOpen, KindEpochCommit, KindEpochPersist, KindTagStall, KindEpochInt, KindQuantum, KindRecover:
 		return trackEpoch
-	case KindUndoInsert, KindUndoCoalesce, KindBufFlush, KindBloomClear, KindDepFlush:
+	case KindUndoInsert, KindUndoCoalesce, KindBufFlush, KindBloomClear, KindDepFlush,
+		KindMirrorRetry, KindDegraded:
 		return trackUndo
 	case KindACSStart, KindACSDone, KindBulkACS:
 		return trackACS

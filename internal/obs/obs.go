@@ -116,6 +116,18 @@ const (
 	// Addr = the line; Epoch = its EID tag.
 	KindLLCEvict
 
+	// Durable mirror (internal/core, internal/checkpoint).
+
+	// KindMirrorRetry marks a failed durable mirror sync being retried
+	// (bounded deterministic retry before the error goes sticky). A = the
+	// retry attempt number, starting at 1.
+	KindMirrorRetry
+	// KindDegraded marks the first unrecoverable durable-mirror failure:
+	// the machine enters read-only degraded mode, mirroring stops, and
+	// the on-disk marker freezes at its last consistent value. Emitted at
+	// most once per machine.
+	KindDegraded
+
 	numKinds
 )
 
@@ -127,6 +139,7 @@ var kindNames = [numKinds]string{
 	"epoch_interrupt", "quantum",
 	"nvm_op", "nvm_queue_high", "dram_hit", "dram_miss",
 	"llc_evict",
+	"mirror_retry", "degraded",
 }
 
 func (k Kind) String() string {

@@ -22,11 +22,15 @@ const (
 // together in one directory. It is what `picl.Open` mounts, what the
 // SIGKILL crash harness leaves behind, and what `picl-recover -log`
 // audits.
+// The component fields are interfaces so a Wrapper (fault injection)
+// can interpose on every durable operation; without a wrapper they hold
+// the concrete *File, *ImageFile, and *Marker directly.
 type Dir struct {
 	path string
-	Log  *File
-	Img  *ImageFile
-	Mk   *Marker
+	Log  LogStore
+	Img  ImageStore
+	Mk   MarkerStore
+	wrap Wrapper // re-applied to components reopened by Reset
 }
 
 // OpenDir opens (creating if absent) a durable store directory.
@@ -55,6 +59,20 @@ func OpenDir(path string) (*Dir, error) {
 // Path returns the directory the store lives in.
 func (d *Dir) Path() string { return d.path }
 
+// Wrap interposes w on every component and remembers it, so Reset
+// re-wraps the fresh components it opens. Install after Recover/Reset
+// (mount-time recovery should read the real files) and before handing
+// the Dir to a machine.
+func (d *Dir) Wrap(w Wrapper) {
+	if w == nil {
+		return
+	}
+	d.wrap = w
+	d.Log = w.WrapLog(d.Log)
+	d.Img = w.WrapImage(d.Img)
+	d.Mk = w.WrapMarker(d.Mk)
+}
+
 // RecoverInfo summarizes what a durable recovery found and did.
 type RecoverInfo struct {
 	// Marker is the epoch recovered to (the newest durable marker).
@@ -75,6 +93,9 @@ type RecoverInfo struct {
 // applying every entry covering the marker epoch (paper §IV-B, on real
 // files).
 func (d *Dir) Recover() (*mem.Image, RecoverInfo, error) {
+	if err := d.removeStaleTmp(); err != nil {
+		return nil, RecoverInfo{}, err
+	}
 	marker, err := d.Mk.Get()
 	if err != nil {
 		return nil, RecoverInfo{}, err
@@ -100,6 +121,29 @@ func (d *Dir) Recover() (*mem.Image, RecoverInfo, error) {
 		Scanned:    scanned,
 		Lines:      img.Len(),
 	}, nil
+}
+
+// removeStaleTmp discards *.tmp files a crash left between a temp write
+// and its atomic rename (Marker.Set, Reset's image compaction). They are
+// never part of durable state — the rename is the commit point — but
+// without cleanup a crashed store carries them forever, and a stale
+// marker.tmp would block the next Set's own temp file on some
+// filesystems. The removal is fsynced through the directory handle so it
+// cannot itself be undone by a crash.
+func (d *Dir) removeStaleTmp() error {
+	stale, err := filepath.Glob(filepath.Join(d.path, "*.tmp"))
+	if err != nil {
+		return err
+	}
+	if len(stale) == 0 {
+		return nil
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return d.Mk.SyncDir()
 }
 
 // Reset compacts the store to a fresh epoch-0 baseline holding exactly
@@ -144,14 +188,19 @@ func (d *Dir) Reset(img *mem.Image) error {
 	if err := os.Rename(tmp, imgPath); err != nil {
 		return err
 	}
-	if err := d.Mk.dirf.Sync(); err != nil {
+	if err := d.Mk.SyncDir(); err != nil {
 		return err
 	}
 	if err := d.Img.Close(); err != nil {
 		return err
 	}
-	if d.Img, err = OpenImage(imgPath); err != nil {
+	img2, err := OpenImage(imgPath)
+	if err != nil {
 		return err
+	}
+	d.Img = img2
+	if d.wrap != nil {
+		d.Img = d.wrap.WrapImage(d.Img)
 	}
 
 	// Fresh, empty log: recreate rather than truncate so the block
@@ -164,8 +213,13 @@ func (d *Dir) Reset(img *mem.Image) error {
 	if err := os.Remove(logPath); err != nil {
 		return err
 	}
-	if d.Log, err = OpenFile(logPath, region); err != nil {
+	log2, err := OpenFile(logPath, region)
+	if err != nil {
 		return err
+	}
+	d.Log = log2
+	if d.wrap != nil {
+		d.Log = d.wrap.WrapLog(d.Log)
 	}
 	return d.Mk.Set(0)
 }

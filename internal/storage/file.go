@@ -150,6 +150,45 @@ func (lf *File) Truncate(n uint64) error {
 	return lf.f.Sync()
 }
 
+// TearTail simulates a block append interrupted mid-row by a power
+// failure: only the first n bytes of raw land at the append offset,
+// forced to media, leaving a partial tail block for the next open to
+// repair. The logical block count does not advance — the append never
+// completed. Fault injection only (internal/storage/fault).
+func (lf *File) TearTail(raw []byte, n int) error {
+	if n <= 0 || n >= len(raw) {
+		return fmt.Errorf("storage: tear of %d bytes of a %d-byte block", n, len(raw))
+	}
+	off := undolog.SuperBytes + int64(lf.blocks-lf.super.Start)*undolog.BlockBytes
+	if _, err := lf.f.WriteAt(raw[:n], off); err != nil {
+		return err
+	}
+	return lf.f.Sync()
+}
+
+// RotBit flips a single bit inside stored block b (absolute numbering,
+// as Blocks counts) and forces it to media — simulated media rot. Fault
+// injection only; the injector targets cold non-final blocks so the
+// corruption must be detected by recovery rather than silently repaired
+// as a torn tail.
+func (lf *File) RotBit(block, bit uint64) error {
+	if block < lf.super.Start || block >= lf.blocks {
+		return fmt.Errorf("storage: rot of block %d outside stored range [%d, %d)",
+			block, lf.super.Start, lf.blocks)
+	}
+	bit %= undolog.BlockBytes * 8
+	off := undolog.SuperBytes + int64(block-lf.super.Start)*undolog.BlockBytes + int64(bit/8)
+	var b [1]byte
+	if _, err := lf.f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := lf.f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return lf.f.Sync()
+}
+
 // Close implements Backend.
 func (lf *File) Close() error {
 	if err := lf.Sync(); err != nil {

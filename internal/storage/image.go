@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"os"
 
@@ -115,6 +116,23 @@ func (im *ImageFile) Load() (*mem.Image, error) {
 
 // Lines reports how many lines own records.
 func (im *ImageFile) Lines() int { return len(im.slots) }
+
+// TearTail simulates a crash tearing a record append mid-write: n junk
+// bytes (1 <= n < 16) land past the last whole record. OpenImage
+// discards the partial trailing record. Fault injection only.
+func (im *ImageFile) TearTail(n int) error {
+	if n <= 0 || n >= imageRecBytes {
+		return fmt.Errorf("storage: image tear of %d bytes, want 1..%d", n, imageRecBytes-1)
+	}
+	junk := make([]byte, n)
+	for i := range junk {
+		junk[i] = 0xA5
+	}
+	if _, err := im.f.WriteAt(junk, im.n*imageRecBytes); err != nil {
+		return err
+	}
+	return im.f.Sync()
+}
 
 // Close syncs and releases the image file.
 func (im *ImageFile) Close() error {

@@ -38,11 +38,17 @@ func OpenMarker(path string) (*Marker, error) {
 	return &Marker{path: path, dirf: dirf}, nil
 }
 
-// Set durably records epoch e as the newest fully persisted epoch.
-func (mk *Marker) Set(e mem.EpochID) error {
+// encodeMarker builds the durable record for epoch e.
+func encodeMarker(e mem.EpochID) [markerBytes]byte {
 	var rec [markerBytes]byte
 	binary.LittleEndian.PutUint64(rec[0:8], uint64(e))
 	binary.LittleEndian.PutUint32(rec[8:12], crc32.Checksum(rec[0:8], markerTable))
+	return rec
+}
+
+// Set durably records epoch e as the newest fully persisted epoch.
+func (mk *Marker) Set(e mem.EpochID) error {
+	rec := encodeMarker(e)
 	tmp := mk.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -85,6 +91,19 @@ func (mk *Marker) Get() (mem.EpochID, error) {
 	}
 	return mem.EpochID(binary.LittleEndian.Uint64(raw[0:8])), nil
 }
+
+// TearSet simulates a crash between Set's temp write and its rename:
+// the temp file lands on disk but the rename never happens, so the real
+// marker is untouched and a stale marker.tmp is left behind for the
+// next recovery to discard. Fault injection only.
+func (mk *Marker) TearSet(e mem.EpochID) error {
+	rec := encodeMarker(e)
+	return os.WriteFile(mk.path+".tmp", rec[:], 0o644)
+}
+
+// SyncDir fsyncs the store directory, making completed renames and
+// removals durable.
+func (mk *Marker) SyncDir() error { return mk.dirf.Sync() }
 
 // Close releases the directory handle.
 func (mk *Marker) Close() error { return mk.dirf.Close() }

@@ -407,3 +407,312 @@ func TestRecoverEmptyDir(t *testing.T) {
 		t.Fatalf("fresh store: lines=%d info=%+v", img.Len(), info)
 	}
 }
+
+// TestFileErrorPaths: a File whose descriptor has died (the on-disk
+// analog of a controller failure) reports errors from every dirtying
+// operation instead of losing writes silently.
+func TestFileErrorPaths(t *testing.T) {
+	raw, err := undolog.EncodeBlock(undolog.Block{
+		Entries:      []undolog.Entry{{Line: 1, ValidTill: 1, Old: 42}},
+		MaxValidTill: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dead descriptor with a dirty buffer: Sync, AppendBlock, and Close
+	// must all fail — Close in particular must not report success while
+	// the appended block was never fsynced.
+	lf, err := OpenFile(filepath.Join(t.TempDir(), "undo.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.AppendBlock(raw); err != nil {
+		t.Fatal(err)
+	}
+	lf.f.Close() // kill the fd out from under the File
+	if err := lf.Sync(); err == nil {
+		t.Fatal("Sync on a dead descriptor reported success with dirty data")
+	}
+	if err := lf.AppendBlock(raw); err == nil {
+		t.Fatal("AppendBlock on a dead descriptor reported success")
+	}
+	if err := lf.Close(); err == nil {
+		t.Fatal("Close swallowed the failed final sync")
+	}
+
+	// Append after a clean Close: the file is gone, the append must say so.
+	lf2, err := OpenFile(filepath.Join(t.TempDir(), "undo.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lf2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf2.AppendBlock(raw); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("append after Close = %v, want ErrClosed", err)
+	}
+
+	// ReadAll over a region the filesystem no longer holds (out-of-band
+	// truncation below the block watermark) is an error, never a short
+	// or zero-padded result.
+	path := filepath.Join(t.TempDir(), "undo.log")
+	lf3, err := OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf3.Close()
+	for i := 0; i < 3; i++ {
+		if err := lf3.AppendBlock(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lf3.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, undolog.SuperBytes+undolog.BlockBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf3.ReadAll(); err == nil {
+		t.Fatal("ReadAll past the file's real size reported success")
+	}
+}
+
+// TestRecoverSweepsStaleTmp: the crash-between-tmp-and-rename artifact —
+// a stale marker.tmp (and any other *.tmp) in the store directory — is
+// removed by Recover before the directory is reused.
+func TestRecoverSweepsStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PersistMarker(3); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn Set: tmp written, rename never happened.
+	if err := d.Mk.(*Marker).TearSet(9); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "marker.tmp")
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatalf("stale tmp missing before recovery: %v", err)
+	}
+	// An unrelated tmp from some other interrupted atomic write.
+	other := filepath.Join(dir, "image.dat.tmp")
+	if err := os.WriteFile(other, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, info, err := d.Recover(); err != nil {
+		t.Fatal(err)
+	} else if info.Marker != 3 {
+		t.Fatalf("stale tmp influenced the marker: %d, want 3", info.Marker)
+	}
+	for _, p := range []string{stale, other} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s survives Recover (err=%v)", p, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// passWrapper is the identity Wrapper: it interposes nothing but tags
+// the stores so the test can see Wrap routed every component through it.
+type passWrapper struct{ logs, imgs, mks int }
+
+func (p *passWrapper) WrapLog(l LogStore) LogStore           { p.logs++; return l }
+func (p *passWrapper) WrapImage(im ImageStore) ImageStore    { p.imgs++; return im }
+func (p *passWrapper) WrapMarker(mk MarkerStore) MarkerStore { p.mks++; return mk }
+
+// TestDirWrapAndSync: Wrap interposes on all three components (and
+// again on the fresh components a Reset opens); Dir.Sync makes every
+// component durable in one call; Path reports the directory.
+func TestDirWrapAndSync(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Path() != dir {
+		t.Fatalf("Path() = %q, want %q", d.Path(), dir)
+	}
+	w := &passWrapper{}
+	d.Wrap(nil) // no-op, must not clear anything
+	d.Wrap(w)
+	if w.logs != 1 || w.imgs != 1 || w.mks != 1 {
+		t.Fatalf("wrap counts = %+v, want 1 each", *w)
+	}
+	if err := d.Img.WriteLine(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reset(mem.NewImage()); err != nil {
+		t.Fatal(err)
+	}
+	// Reset reopens the image and log (re-wrapped); the marker file is
+	// never recreated, so the already-wrapped component persists.
+	if w.logs != 2 || w.imgs != 2 || w.mks != 1 {
+		t.Fatalf("Reset did not re-wrap: %+v", *w)
+	}
+}
+
+// TestMemClose: the simulated backend's Close is a successful no-op —
+// the region lives in the NVM image, not behind a descriptor.
+func TestMemClose(t *testing.T) {
+	if err := NewMem(undolog.Super{RegionBytes: 1 << 20}).Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileTearTail: a torn append leaves a partial tail block that does
+// not advance the watermark, and the next open repairs it, reporting
+// the torn byte count.
+func TestFileTearTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "undo.log")
+	lf, err := OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := undolog.EncodeBlock(undolog.Block{
+		Entries:      []undolog.Entry{{Line: 1, ValidTill: 1, Old: 7}},
+		MaxValidTill: 1,
+	})
+	if err := lf.AppendBlock(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.TearTail(raw, 0); err == nil {
+		t.Fatal("empty tear accepted")
+	}
+	if err := lf.TearTail(raw, len(raw)); err == nil {
+		t.Fatal("full-block tear accepted (that is an append, not a tear)")
+	}
+	if err := lf.TearTail(raw, 100); err != nil {
+		t.Fatal(err)
+	}
+	if lf.Blocks() != 1 {
+		t.Fatalf("tear advanced the watermark to %d", lf.Blocks())
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Blocks() != 1 || re.TornBytes() != 100 {
+		t.Fatalf("reopen after tear: blocks=%d torn=%d, want 1 and 100", re.Blocks(), re.TornBytes())
+	}
+}
+
+// TestFileRotBit: a flipped bit in a stored block is out of TearTail's
+// reach — ReadLog must reject the block as corrupt, and out-of-range
+// rot targets are refused.
+func TestFileRotBit(t *testing.T) {
+	lf, err := OpenFile(filepath.Join(t.TempDir(), "undo.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	raw, _ := undolog.EncodeBlock(undolog.Block{
+		Entries:      []undolog.Entry{{Line: 1, ValidTill: 1, Old: 7}},
+		MaxValidTill: 1,
+	})
+	for i := 0; i < 2; i++ {
+		if err := lf.AppendBlock(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.RotBit(2, 0); err == nil {
+		t.Fatal("rot past the watermark accepted")
+	}
+	if err := lf.RotBit(0, 12345); err != nil {
+		t.Fatal(err)
+	}
+	all, err := lf.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := undolog.ReadLog(bytes.NewReader(all), 0); !errors.Is(err, undolog.ErrCorruptBlock) {
+		t.Fatalf("rotted block read back as %v, want ErrCorruptBlock", err)
+	}
+}
+
+// TestImageTearTail: a torn image tail is junk bytes past the last
+// whole record — dropped at the next open, earlier records intact.
+func TestImageTearTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "image.dat")
+	im, err := OpenImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := im.WriteLine(mem.LineAddr(i), mem.Word(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := im.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.TearTail(0); err == nil {
+		t.Fatal("zero-byte tear accepted")
+	}
+	if err := im.TearTail(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Lines() != 3 {
+		t.Fatalf("torn junk consumed a whole record: %d lines, want 3", re.Lines())
+	}
+	img, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if img.Read(mem.LineAddr(i)) != mem.Word(i) {
+			t.Fatalf("line %d lost to the tear", i)
+		}
+	}
+}
+
+// TestMarkerTearSet: TearSet leaves the real marker untouched and a
+// stale .tmp behind — the crash artifact Recover sweeps.
+func TestMarkerTearSet(t *testing.T) {
+	dir := t.TempDir()
+	mk, err := OpenMarker(filepath.Join(dir, "marker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mk.Close()
+	if err := mk.Set(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.TearSet(9); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := mk.Get(); err != nil || e != 4 {
+		t.Fatalf("marker after torn set = %d err=%v, want 4", e, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "marker.tmp")); err != nil {
+		t.Fatalf("torn set left no tmp: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"errors"
+
+	"picl/internal/mem"
+	"picl/internal/undolog"
+)
+
+// ErrPowerLost is the sentinel a fault-injecting store wrapper returns
+// once its scheduled crash point is reached: the simulated power is off,
+// every subsequent operation on the store fails the same way, and the
+// only way forward is reopening the directory and running recovery.
+// Match it with errors.Is — it arrives wrapped with operation context.
+var ErrPowerLost = errors.New("storage: simulated power loss")
+
+// LogStore is what a Dir needs from its undo-log component: the Backend
+// block operations plus the superblock geometry and torn-tail report
+// File provides. File implements it; fault wrappers decorate it.
+type LogStore interface {
+	Backend
+	Super() undolog.Super
+	TornBytes() uint64
+}
+
+// ImageStore is what a Dir needs from its image component — the durable
+// line-granular memory image. ImageFile implements it.
+type ImageStore interface {
+	WriteLine(l mem.LineAddr, w mem.Word) error
+	Sync() error
+	Load() (*mem.Image, error)
+	Lines() int
+	Close() error
+}
+
+// MarkerStore is what a Dir needs from its persisted-epoch marker.
+// Marker implements it.
+type MarkerStore interface {
+	Set(e mem.EpochID) error
+	Get() (mem.EpochID, error)
+	SyncDir() error
+	Close() error
+}
+
+// Wrapper decorates a Dir's components as they are (re)opened — the
+// hook the fault-injection campaign uses to interpose torn writes,
+// failing fsyncs, bit rot, and power cuts between the machine and the
+// real files (see internal/storage/fault). Dir remembers the wrapper and
+// re-applies it to the fresh components Reset opens.
+type Wrapper interface {
+	WrapLog(LogStore) LogStore
+	WrapImage(ImageStore) ImageStore
+	WrapMarker(MarkerStore) MarkerStore
+}
+
+var (
+	_ LogStore    = (*File)(nil)
+	_ ImageStore  = (*ImageFile)(nil)
+	_ MarkerStore = (*Marker)(nil)
+)

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -119,8 +120,10 @@ func TestTornThenAppend(t *testing.T) {
 }
 
 // TestTornInteriorCorruption: bit rot (not a torn tail) inside an
-// interior block stops the scan at that block — nothing after a corrupt
-// block is trusted. Sampled every 64 bytes to keep the matrix cheap.
+// interior block is a hard ErrCorruptBlock error — an interior block was
+// fully written once, so its corruption cannot be a crash artifact, and
+// silently dropping the blocks behind it would discard committed undo
+// coverage. Sampled every 64 bytes to keep the matrix cheap.
 func TestTornInteriorCorruption(t *testing.T) {
 	l := fixtureLog(3)
 	var full bytes.Buffer
@@ -131,9 +134,12 @@ func TestTornInteriorCorruption(t *testing.T) {
 	for off := 0; off < undolog.BlockBytes; off += 64 {
 		raw := append([]byte(nil), full.Bytes()...)
 		raw[base+off] ^= 0xFF
-		rl, read, err := undolog.ReadLog(bytes.NewReader(raw), 0)
-		if err != nil || read != 1 || rl.Blocks() != 1 {
-			t.Fatalf("off %d: read=%d err=%v", off, read, err)
+		_, read, err := undolog.ReadLog(bytes.NewReader(raw), 0)
+		if !errors.Is(err, undolog.ErrCorruptBlock) {
+			t.Fatalf("off %d: err=%v, want ErrCorruptBlock (media rot must not pass as a torn tail)", off, err)
+		}
+		if read != 1 {
+			t.Fatalf("off %d: read=%d blocks before the rot, want 1", off, read)
 		}
 	}
 }

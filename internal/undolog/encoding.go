@@ -263,10 +263,23 @@ func ReadLog(r io.Reader, regionBytes uint64) (*Log, int, error) {
 		}
 		b, err := DecodeBlock(buf)
 		if err != nil {
-			if errors.Is(err, ErrCorruptBlock) {
-				return l, read, nil // stop at the torn tail
+			if !errors.Is(err, ErrCorruptBlock) {
+				return l, read, err
 			}
-			return l, read, err
+			// A corrupt FINAL block is a torn tail: the crash interrupted
+			// its 2 KB write mid-row, and recovery stops in front of it.
+			// A corrupt block with more data behind it cannot be a tear —
+			// appends are sequential, so everything before the tail was
+			// fully written once. That is media rot (or scribbling), and
+			// silently dropping the tail there would discard committed
+			// undo coverage, so it is a hard error.
+			var probe [1]byte
+			if n, _ := io.ReadFull(r, probe[:]); n == 0 {
+				return l, read, nil // torn tail
+			}
+			return l, read, fmt.Errorf(
+				"undolog: block %d fails validation with further data behind it (media rot, not a torn tail): %w",
+				l.start+uint64(read), err)
 		}
 		l.AppendBlock(b.Entries)
 		read++

@@ -97,6 +97,7 @@ type options struct {
 	geometry  *[3]LevelGeometry // retained for New's validation
 	traceCap  int
 	backend   Backend
+	wrapper   StoreWrapper
 }
 
 // Option customizes New.
@@ -260,13 +261,46 @@ func (m *Machine) checkLive() error {
 	if m.crashed {
 		return fmt.Errorf("%w; Recover or build a new one", ErrCrashed)
 	}
+	return nil
+}
+
+// checkWritable is checkLive plus the degraded-mode gate: a sticky
+// durable-mirror failure turns the machine read-only — mutating
+// operations report ErrBackend while reads, stats, and trace export
+// keep working (graceful degradation instead of bricking the machine).
+func (m *Machine) checkWritable() error {
+	if err := m.checkLive(); err != nil {
+		return err
+	}
 	if m.durablePiCL != nil {
 		// Mirror failures are recorded sticky inside the hot paths (which
-		// cannot return storage errors) and surfaced at the next fallible
+		// cannot return storage errors) and surfaced at the next mutating
 		// operation.
 		if err := m.durablePiCL.DurableErr(); err != nil {
-			return fmt.Errorf("%w: %w", ErrBackend, err)
+			return fmt.Errorf("%w: durable store degraded to read-only: %w", ErrBackend, err)
 		}
+	}
+	return nil
+}
+
+// Degraded reports whether the machine has entered read-only degraded
+// mode: a durable-mirror write failed permanently (after the bounded
+// retry), so the on-disk store froze at its last consistent marker and
+// mutating operations now report ErrBackend. Reads, Stats, and
+// WriteTrace keep working — the cached state is still coherent, only
+// its durability is gone. DegradedCause returns the underlying failure.
+func (m *Machine) Degraded() bool {
+	return m.durablePiCL != nil && m.durablePiCL.DurableErr() != nil
+}
+
+// DegradedCause returns the sticky durable-mirror failure that put the
+// machine in degraded mode, wrapped in ErrBackend (nil when healthy).
+func (m *Machine) DegradedCause() error {
+	if m.durablePiCL == nil {
+		return nil
+	}
+	if err := m.durablePiCL.DurableErr(); err != nil {
+		return fmt.Errorf("%w: %w", ErrBackend, err)
 	}
 	return nil
 }
@@ -285,7 +319,7 @@ func (m *Machine) Write(addr uint64, value uint64) error {
 // is the hierarchy/memory latency. Both paths use the same monotone
 // max-clamp, so interleaving reads and writes can never rewind time.
 func (m *Machine) WriteOn(coreID int, addr uint64, value uint64) error {
-	if err := m.checkLive(); err != nil {
+	if err := m.checkWritable(); err != nil {
 		return err
 	}
 	m.clock++
@@ -326,7 +360,7 @@ func (m *Machine) Advance(n uint64) {
 // (the ACS engine persists the epoch ACS-gap commits later); under the
 // stop-the-world baselines it stalls until the flush drains.
 func (m *Machine) CommitEpoch() error {
-	if err := m.checkLive(); err != nil {
+	if err := m.checkWritable(); err != nil {
 		return err
 	}
 	if resume := m.scheme.EpochBoundary(m.clock); resume > m.clock {
@@ -365,7 +399,7 @@ func (m *Machine) CrashAt(t uint64) {
 // any buffered I/O writes. Stop-the-world schemes simply commit and
 // drain. Returns the number of cycles the sync cost.
 func (m *Machine) Sync() (uint64, error) {
-	if err := m.checkLive(); err != nil {
+	if err := m.checkWritable(); err != nil {
 		return 0, err
 	}
 	start := m.clock
@@ -388,7 +422,7 @@ func (m *Machine) Sync() (uint64, error) {
 // I/O writes happened in have been fully persisted"). The tag is
 // returned by ReleaseIO once its epoch is durable.
 func (m *Machine) QueueIO(tag string) error {
-	if err := m.checkLive(); err != nil {
+	if err := m.checkWritable(); err != nil {
 		return err
 	}
 	m.ioQueue = append(m.ioQueue, pendingIO{tag: tag, epoch: m.scheme.SystemEID()})
