@@ -1,4 +1,4 @@
-.PHONY: ci vet fmt-check tidy-check lint build test race cover cover-update bench bench-check bench-test crash fuzz
+.PHONY: ci vet fmt-check tidy-check lint lint-fix lint-sarif build test race cover cover-update bench bench-check bench-test crash fuzz
 
 # ci is the tier-1 gate: vet, formatting and go.mod hygiene, the
 # project-specific invariant linter, build everything, the full test
@@ -26,9 +26,25 @@ tidy-check:
 	go mod tidy -diff
 
 # lint runs picl-lint (see internal/lint and DESIGN.md "Static
-# analysis") over every non-test package in the module.
+# analysis") over every non-test package in the module. Stale
+# //lint:ignore directives fail the gate too (-unused-ignores defaults
+# to on).
 lint:
 	go run ./cmd/picl-lint ./...
+
+# lint-fix applies picl-lint's mechanical rewrites (eidcmp helper
+# calls, errwrap %w) in place, then fails if the tree changed — run it
+# locally to fix, while in CI it proves the committed tree and the
+# autofixes cannot drift apart.
+lint-fix:
+	go run ./cmd/picl-lint -fix ./... || true
+	git diff --exit-code
+
+# lint-sarif writes the machine-readable finding report CI uploads for
+# PR annotations. picl-lint exits 1 on findings; the report is written
+# either way, so the exit code is surfaced by the lint target, not here.
+lint-sarif:
+	go run ./cmd/picl-lint -sarif picl-lint.sarif ./... || true
 
 build:
 	go build ./...

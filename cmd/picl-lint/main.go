@@ -1,19 +1,26 @@
 // picl-lint checks the PiCL-specific invariants the Go compiler and
 // `go vet` cannot see: simulator determinism, 4-bit epoch-tag
-// arithmetic, stats lock discipline, sentinel error wrapping, and
+// arithmetic, lock discipline (per-field and call-graph), the durable
+// store's write-ahead ordering contract, sentinel error wrapping, and
 // floating-point timing equality. It exits 1 when any unsuppressed
 // diagnostic is found (this is what fails the `make ci` gate) and 2 on
 // operational errors such as packages that do not type-check.
 //
 // Usage:
 //
-//	picl-lint [packages]   # defaults to ./...
-//	picl-lint -rules       # list the rule set
+//	picl-lint [packages]       # defaults to ./...
+//	picl-lint -rules           # list the rule set
+//	picl-lint -json            # findings as a JSON array on stdout
+//	picl-lint -sarif out.sarif # also write a SARIF 2.1.0 report
+//	picl-lint -fix             # apply suggested fixes, then re-check
 //
 // Findings are suppressed with a justified comment on the offending
 // line or the line directly above:
 //
 //	//lint:ignore <rule>[,<rule>] <reason>
+//
+// Stale suppressions (directives that no longer match any finding) are
+// themselves findings unless -unused-ignores=false.
 package main
 
 import (
@@ -26,8 +33,13 @@ import (
 
 func main() {
 	rules := flag.Bool("rules", false, "print the rule set and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 report to this `file`")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place, then re-check")
+	unusedIgnores := flag.Bool("unused-ignores", true, "report //lint:ignore directives that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: picl-lint [-rules] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: picl-lint [-rules] [-json] [-sarif file] [-fix] [-unused-ignores=false] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,20 +57,66 @@ func main() {
 	}
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "picl-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	pkgs, err := lint.LoadModule(wd, patterns...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "picl-lint:", err)
-		os.Exit(2)
+	opts := lint.Options{UnusedIgnores: *unusedIgnores}
+	diags := load(wd, patterns, opts)
+
+	if *fix {
+		fixed, n, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fatal(err)
+		}
+		for file, content := range fixed {
+			if err := os.WriteFile(file, content, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "picl-lint: applied %d fix(es) to %d file(s)\n", n, len(fixed))
+		if n > 0 {
+			// Re-check from the rewritten sources so remaining findings
+			// carry accurate positions.
+			diags = load(wd, patterns, opts)
+		}
 	}
-	diags := lint.Run(pkgs, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.WriteSARIF(f, wd, lint.All(), diags); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "picl-lint: %d unsuppressed diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func load(wd string, patterns []string, opts lint.Options) []lint.Diagnostic {
+	pkgs, err := lint.LoadModule(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	return lint.RunOpts(pkgs, lint.All(), opts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "picl-lint:", err)
+	os.Exit(2)
 }

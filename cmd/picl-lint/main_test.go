@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -77,7 +78,7 @@ func TestSmokeRules(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-rules exit %d", code)
 	}
-	for _, rule := range []string{"determinism", "eidcmp", "lockdiscipline", "errwrap", "floateq", "obshook"} {
+	for _, rule := range []string{"determinism", "eidcmp", "lockdiscipline", "lockheld", "walorder", "errwrap", "floateq", "obshook"} {
 		if !strings.Contains(out, rule) {
 			t.Fatalf("-rules missing %q:\n%s", rule, out)
 		}
@@ -108,5 +109,102 @@ func Cycles(n uint64) uint64 { return 2 * n }
 	out, stderr, code := runIn(t, dir)
 	if code != 0 {
 		t.Fatalf("clean module exit = %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+}
+
+// errwrapViolation is a self-contained module source with one fixable
+// errwrap finding (its own sentinel, so no cross-package imports).
+const errwrapViolation = `package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrStall = errors.New("stall")
+
+func Wrap() error {
+	return fmt.Errorf("boot: %v", ErrStall)
+}
+`
+
+func TestSmokeJSON(t *testing.T) {
+	dir := writeModule(t, errwrapViolation)
+	out, _, code := runIn(t, dir, "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0]["rule"] != "errwrap" || findings[0]["fixable"] != true {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestSmokeSARIF(t *testing.T) {
+	dir := writeModule(t, errwrapViolation)
+	sarif := filepath.Join(dir, "lint.sarif")
+	_, _, code := runIn(t, dir, "-sarif", sarif)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	b, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatalf("SARIF report not written: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(b, &log); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Fatalf("SARIF version = %v", log["version"])
+	}
+	if !strings.Contains(string(b), "internal/sim/sim.go") {
+		t.Fatalf("SARIF URIs not repo-relative:\n%s", b)
+	}
+}
+
+// TestSmokeFix: -fix rewrites the file in place, reports the applied
+// count, and exits 0 because nothing unfixable remains.
+func TestSmokeFix(t *testing.T) {
+	dir := writeModule(t, errwrapViolation)
+	_, stderr, code := runIn(t, dir, "-fix")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 after fixing everything\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "applied 1 fix(es)") {
+		t.Fatalf("missing applied-count report:\n%s", stderr)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "internal", "sim", "sim.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"boot: %w"`) {
+		t.Fatalf("file not rewritten to %%w:\n%s", b)
+	}
+	// Converged: a second run finds nothing and applies nothing.
+	_, stderr, code = runIn(t, dir, "-fix")
+	if code != 0 || !strings.Contains(stderr, "applied 0 fix(es)") {
+		t.Fatalf("second -fix not a no-op: exit=%d\n%s", code, stderr)
+	}
+}
+
+// TestSmokeUnusedIgnores: stale directives fail the gate by default
+// and pass with -unused-ignores=false.
+func TestSmokeUnusedIgnores(t *testing.T) {
+	dir := writeModule(t, `package sim
+
+//lint:ignore determinism historic: the wall clock read moved away
+func Cycles(n uint64) uint64 { return 2 * n }
+`)
+	out, stderr, code := runIn(t, dir)
+	if code != 1 || !strings.Contains(out, "unused-ignore") {
+		t.Fatalf("stale directive not reported: exit=%d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	_, _, code = runIn(t, dir, "-unused-ignores=false")
+	if code != 0 {
+		t.Fatalf("-unused-ignores=false still fails: exit=%d", code)
 	}
 }

@@ -22,13 +22,18 @@ var Determinism = &Analyzer{
 
 // deterministicScope is the set of package subtrees under the contract.
 // cmd/* binaries and test files are exempt: they sit outside the
-// simulated world and may time or randomize freely.
+// simulated world and may time or randomize freely. crashplan and
+// storage/fault are in scope because both promise seed-reproducible
+// schedules: a crash plan or fault trace must replay identically from
+// its recorded seed.
 var deterministicScope = []string{
 	modulePath + "/internal/sim",
 	modulePath + "/internal/cache",
 	modulePath + "/internal/nvm",
 	modulePath + "/internal/exp",
 	modulePath + "/internal/obs",
+	modulePath + "/internal/crashplan",
+	modulePath + "/internal/storage/fault",
 }
 
 var bannedImports = map[string]bool{

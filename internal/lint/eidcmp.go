@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -14,6 +15,11 @@ import (
 // subtraction through internal/mem's helpers (Before/AtMost/After/
 // AtLeast/Gap/Minus, ResolveTag for tags) keeps the proof obligation in
 // one audited file.
+//
+// For EpochID operands the rewrite is mechanical, so each finding
+// carries a suggested fix applied by `picl-lint -fix`; EpochTag has no
+// comparison helpers by design (resolve it with mem.ResolveTag first),
+// so tag findings stay fix-less.
 var EIDCmp = &Analyzer{
 	Name: "eidcmp",
 	Doc:  "forbid raw ordering comparison or subtraction of epoch-typed values outside internal/mem",
@@ -23,6 +29,10 @@ var EIDCmp = &Analyzer{
 func isEpochTyped(t types.Type) bool {
 	return isNamed(t, modulePath+"/internal/mem", "EpochID") ||
 		isNamed(t, modulePath+"/internal/mem", "EpochTag")
+}
+
+func isEpochID(t types.Type) bool {
+	return isNamed(t, modulePath+"/internal/mem", "EpochID")
 }
 
 const eidHint = "use the mem.EpochID helpers (Before/AtMost/After/AtLeast/Gap/Minus) — raw ordering inverts on tag wraparound"
@@ -38,19 +48,144 @@ func runEIDCmp(pass *Pass) {
 				switch n.Op {
 				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.SUB:
 					if isEpochTyped(pass.TypeOf(n.X)) || isEpochTyped(pass.TypeOf(n.Y)) {
-						pass.Reportf(n.OpPos, "raw %s on an epoch-typed value; %s", n.Op, eidHint)
+						pass.Report(n.OpPos, Diagnostic{
+							Message: fmt.Sprintf("raw %s on an epoch-typed value; %s", n.Op, eidHint),
+							Fix:     eidBinaryFix(pass, n),
+						})
 					}
 				}
 			case *ast.AssignStmt:
 				if n.Tok == token.SUB_ASSIGN && len(n.Lhs) == 1 && isEpochTyped(pass.TypeOf(n.Lhs[0])) {
-					pass.Reportf(n.TokPos, "raw -= on an epoch-typed value; %s", eidHint)
+					pass.Report(n.TokPos, Diagnostic{
+						Message: fmt.Sprintf("raw -= on an epoch-typed value; %s", eidHint),
+						Fix:     eidSubAssignFix(pass, n),
+					})
 				}
 			case *ast.IncDecStmt:
 				if n.Tok == token.DEC && isEpochTyped(pass.TypeOf(n.X)) {
-					pass.Reportf(n.TokPos, "raw -- on an epoch-typed value; %s", eidHint)
+					pass.Report(n.TokPos, Diagnostic{
+						Message: fmt.Sprintf("raw -- on an epoch-typed value; %s", eidHint),
+						Fix:     eidDecFix(pass, n),
+					})
 				}
 			}
 			return true
 		})
+	}
+}
+
+// eidBinaryFix rewrites `x OP y` into the equivalent helper call. The
+// helper anchors on whichever operand is EpochID-typed; EpochTag
+// operands produce no fix.
+func eidBinaryFix(pass *Pass, n *ast.BinaryExpr) *Fix {
+	xID, yID := isEpochID(pass.TypeOf(n.X)), isEpochID(pass.TypeOf(n.Y))
+	// Never anchor the helper call on a constant operand: `4 < b` must
+	// become b.After(4), not a selector on a literal.
+	xConst, yConst := isConst(pass, n.X), isConst(pass, n.Y)
+	switch {
+	case xID && !xConst:
+		var method string
+		switch n.Op {
+		case token.LSS:
+			method = "Before"
+		case token.LEQ:
+			method = "AtMost"
+		case token.GTR:
+			method = "After"
+		case token.GEQ:
+			method = "AtLeast"
+		case token.SUB:
+			// Subtracting a constant preserves EpochID (Minus);
+			// subtracting another epoch is a distance (Gap, uint64).
+			method = "Gap"
+			if yConst {
+				method = "Minus"
+			}
+		default:
+			return nil
+		}
+		return &Fix{
+			Message: fmt.Sprintf("rewrite as %s()", method),
+			Edits: []TextEdit{
+				editAt(pass.Pkg.Fset, n.X.End(), n.Y.Pos(), "."+method+"("),
+				editAt(pass.Pkg.Fset, n.Y.End(), n.Y.End(), ")"),
+			},
+		}
+	case yID && !yConst:
+		// `x OP y` anchored on y (x is constant or untyped): flip.
+		var method string
+		switch n.Op {
+		case token.LSS:
+			method = "After"
+		case token.LEQ:
+			method = "AtLeast"
+		case token.GTR:
+			method = "Before"
+		case token.GEQ:
+			method = "AtMost"
+		default:
+			return nil
+		}
+		xs, okX := pass.Src(n.X.Pos(), n.X.End())
+		ys, okY := pass.Src(n.Y.Pos(), n.Y.End())
+		if !okX || !okY {
+			return nil
+		}
+		return &Fix{
+			Message: fmt.Sprintf("rewrite as %s()", method),
+			Edits: []TextEdit{
+				editAt(pass.Pkg.Fset, n.Pos(), n.End(), ys+"."+method+"("+xs+")"),
+			},
+		}
+	}
+	return nil
+}
+
+// isConst reports whether e evaluates to a compile-time constant.
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// eidSubAssignFix rewrites `x -= y` into `x = x.Minus(y)`, converting
+// an epoch-typed subtrahend through uint64 (Minus takes a distance).
+func eidSubAssignFix(pass *Pass, n *ast.AssignStmt) *Fix {
+	if !isEpochID(pass.TypeOf(n.Lhs[0])) || len(n.Rhs) != 1 {
+		return nil
+	}
+	xs, okX := pass.Src(n.Lhs[0].Pos(), n.Lhs[0].End())
+	ys, okY := pass.Src(n.Rhs[0].Pos(), n.Rhs[0].End())
+	if !okX || !okY {
+		return nil
+	}
+	if isEpochID(pass.TypeOf(n.Rhs[0])) && !isConst(pass, n.Rhs[0]) {
+		ys = "uint64(" + ys + ")"
+	} else if _, isIdent := ast.Unparen(n.Rhs[0]).(*ast.Ident); !isIdent {
+		if _, isLit := ast.Unparen(n.Rhs[0]).(*ast.BasicLit); !isLit {
+			ys = "(" + ys + ")"
+		}
+	}
+	return &Fix{
+		Message: "rewrite as Minus()",
+		Edits: []TextEdit{
+			editAt(pass.Pkg.Fset, n.Pos(), n.End(), xs+" = "+xs+".Minus("+ys+")"),
+		},
+	}
+}
+
+// eidDecFix rewrites `x--` into `x = x.Minus(1)`.
+func eidDecFix(pass *Pass, n *ast.IncDecStmt) *Fix {
+	if !isEpochID(pass.TypeOf(n.X)) {
+		return nil
+	}
+	xs, ok := pass.Src(n.X.Pos(), n.X.End())
+	if !ok {
+		return nil
+	}
+	return &Fix{
+		Message: "rewrite as Minus(1)",
+		Edits: []TextEdit{
+			editAt(pass.Pkg.Fset, n.Pos(), n.End(), xs+" = "+xs+".Minus(1)"),
+		},
 	}
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -81,9 +82,11 @@ func runErrWrap(pass *Pass) {
 					return true
 				}
 				var sentinel types.Object
-				for _, arg := range n.Args[1:] {
+				sentIdx := -1
+				for i, arg := range n.Args[1:] {
 					if obj := sentinelOperand(info, arg); obj != nil {
 						sentinel = obj
+						sentIdx = i
 					}
 				}
 				if sentinel == nil {
@@ -94,11 +97,60 @@ func runErrWrap(pass *Pass) {
 					return true
 				}
 				if format, err := strconv.Unquote(lit.Value); err == nil && !strings.Contains(format, "%w") {
-					pass.Reportf(n.Pos(),
-						"fmt.Errorf carries sentinel %s without %%w, so errors.Is cannot match the result", sentinel.Name())
+					pass.Report(n.Pos(), Diagnostic{
+						Message: fmt.Sprintf(
+							"fmt.Errorf carries sentinel %s without %%w, so errors.Is cannot match the result", sentinel.Name()),
+						Fix: errwrapFix(pass, lit, sentIdx),
+					})
 				}
 			}
 			return true
 		})
 	}
+}
+
+// errwrapFix rewrites the format verb consuming the sentinel argument
+// from %v/%s to %w, editing the single verb byte inside the string
+// literal. Formats with flags, widths or * on that verb are left to a
+// human (no fix), as are positions the scan cannot match confidently.
+func errwrapFix(pass *Pass, lit *ast.BasicLit, sentIdx int) *Fix {
+	v := lit.Value // literal as written, quotes included
+	argIdx := 0
+	for i := 0; i < len(v); i++ {
+		if v[i] != '%' {
+			continue
+		}
+		if i+1 < len(v) && v[i+1] == '%' {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(v) && strings.ContainsRune("+-# 0123456789.", rune(v[j])) {
+			j++
+		}
+		if j >= len(v) {
+			return nil
+		}
+		if v[j] == '*' {
+			return nil // * consumes an argument; index mapping is off
+		}
+		if argIdx == sentIdx {
+			if (v[j] == 'v' || v[j] == 's') && j == i+1 {
+				off := pass.Pkg.Fset.Position(lit.Pos()).Offset + j
+				return &Fix{
+					Message: "wrap with %w",
+					Edits: []TextEdit{{
+						Filename: pass.Pkg.Fset.Position(lit.Pos()).Filename,
+						Start:    off,
+						End:      off + 1,
+						New:      "w",
+					}},
+				}
+			}
+			return nil
+		}
+		argIdx++
+		i = j
+	}
+	return nil
 }

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// editAt builds a byte-offset TextEdit from token positions.
+func editAt(fset *token.FileSet, pos, end token.Pos, text string) TextEdit {
+	p, e := fset.Position(pos), fset.Position(end)
+	return TextEdit{Filename: p.Filename, Start: p.Offset, End: e.Offset, New: text}
+}
+
+// ApplyFixes collects the suggested fixes of diags, applies them per
+// file, and returns the gofmt-formatted results keyed by filename. It
+// returns the number of fixes applied; fixes whose edits overlap an
+// already-applied edit in the same file are skipped (re-running
+// picl-lint -fix converges on them). Files are read from disk, not
+// written — the caller decides what to do with the new content.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, int, error) {
+	type edit struct {
+		TextEdit
+		fix int // fixes are atomic: all edits of a fix or none
+	}
+	byFile := make(map[string][]edit)
+	nfix := 0
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], edit{e, nfix})
+		}
+		nfix++
+	}
+	if len(byFile) == 0 {
+		return nil, 0, nil
+	}
+
+	out := make(map[string][]byte, len(byFile))
+	applied := make(map[int]bool)
+	dropped := make(map[int]bool)
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		// Sort ascending and validate: overlapping fixes are dropped
+		// wholesale (first writer wins), as are edits out of range.
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		prevEnd := -1
+		prevFix := -1
+		for _, e := range edits {
+			switch {
+			case e.Start < 0 || e.End < e.Start || e.End > len(src):
+				dropped[e.fix] = true
+			case e.Start < prevEnd && e.fix != prevFix:
+				dropped[e.fix] = true
+			default:
+				prevEnd, prevFix = e.End, e.fix
+			}
+		}
+		// Apply back to front so earlier offsets stay valid.
+		buf := src
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if dropped[e.fix] {
+				continue
+			}
+			buf = append(buf[:e.Start:e.Start], append([]byte(e.New), buf[e.End:]...)...)
+			applied[e.fix] = true
+		}
+		formatted, err := format.Source(buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("lint: fixed %s does not parse: %w", file, err)
+		}
+		out[file] = formatted
+	}
+	n := 0
+	for fix := range applied {
+		if !dropped[fix] {
+			n++
+		}
+	}
+	return out, n, nil
+}

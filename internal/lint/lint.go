@@ -2,19 +2,23 @@
 // framework over go/parser, go/ast and go/types (no golang.org/x/tools)
 // that checks the PiCL-specific invariants the Go compiler cannot see —
 // simulator determinism, 4-bit epoch-tag arithmetic, stats lock
-// discipline, sentinel error wrapping, and float timing equality. The
-// ROADMAP's tier-1 gate runs `go vet` and `go test -race`, but race
-// detection is dynamic and probabilistic; the epoch/ordering bug class
-// that persistence logic produces (silent tag wraparound, map-order
-// nondeterminism leaking into "byte-identical" output) is exactly the
-// class a static pass catches at CI time.
+// discipline, sentinel error wrapping, float timing equality, and the
+// durable store's write-ahead ordering contract. The ROADMAP's tier-1
+// gate runs `go vet` and `go test -race`, but race detection and the
+// crash/fuzz harnesses are dynamic and probabilistic; the epoch and
+// persist-ordering bug class that persistence logic produces (silent
+// tag wraparound, an in-place write overtaking its undo coverage) is
+// exactly the class a static pass catches at CI time.
 //
 // The engine loads every non-test package of the module (see load.go),
-// runs each Analyzer over each package, and filters diagnostics through
+// builds a module-wide call graph (callgraph.go) for the analyzers
+// that reason across function boundaries (walorder.go, lockheld.go via
+// effects.go), runs each Analyzer, and filters diagnostics through
 // `//lint:ignore <rule> <reason>` suppression comments placed on the
 // offending line or the line directly above it. cmd/picl-lint exits
 // nonzero on any unsuppressed diagnostic, which is what makes the
-// `make ci` gate fail builds.
+// `make ci` gate fail builds; it can also render findings as JSON or
+// SARIF (output.go) and apply mechanical fixes (fix.go).
 package lint
 
 import (
@@ -26,16 +30,60 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding: a position, the rule that fired, and a
-// human-readable message.
+// Related is a secondary position attached to a diagnostic — the
+// interprocedural analyzers use it to spell out the call chain from
+// the reported function down to the primitive effect.
+type Related struct {
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+// TextEdit is one byte-range replacement of a suggested fix.
+type TextEdit struct {
+	Filename string `json:"file"`
+	// Start and End are byte offsets into the file; [Start, End) is
+	// replaced by New.
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// Fix is a mechanical rewrite that resolves a diagnostic (see
+// ApplyFixes and picl-lint's -fix flag).
+type Fix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Diagnostic is one finding: a position, the rule that fired, a stable
+// finding code within the rule, a human-readable message, and
+// optionally the related call chain and a suggested fix.
 type Diagnostic struct {
-	Pos     token.Position
-	Rule    string
+	Pos  token.Position
+	Rule string
+	// Code subdivides a rule into stable finding IDs ("image-unordered",
+	// "double-lock", ...); empty for rules with a single finding shape.
+	Code    string
 	Message string
+	Related []Related
+	Fix     *Fix
+}
+
+// RuleID is the stable machine-readable identifier used by the JSON
+// and SARIF writers: "rule" or "rule/code".
+func (d Diagnostic) RuleID() string {
+	if d.Code == "" {
+		return d.Rule
+	}
+	return d.Rule + "/" + d.Code
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.RuleID(), d.Message)
+	for _, r := range d.Related {
+		s += fmt.Sprintf("\n\t%s:%d:%d: %s", r.Pos.Filename, r.Pos.Line, r.Pos.Column, r.Message)
+	}
+	return s
 }
 
 // Package is one type-checked package ready for analysis.
@@ -49,7 +97,9 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run (invoked
+// once per package) and RunModule (invoked once over the whole package
+// set, with the call graph available) is set.
 type Analyzer struct {
 	// Name is the rule name used in output and //lint:ignore comments.
 	Name string
@@ -57,12 +107,16 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once — the interprocedural
+	// analyzers (walorder, lockheld) need every package's call edges.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) execution.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	src      *srcCache
 	report   func(Diagnostic)
 }
 
@@ -75,12 +129,57 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Report records a fully built finding; Pos/Rule are filled in from
+// pos and the analyzer.
+func (p *Pass) Report(pos token.Pos, d Diagnostic) {
+	d.Pos = p.Pkg.Fset.Position(pos)
+	d.Rule = p.Analyzer.Name
+	p.report(d)
+}
+
 // TypeOf resolves the type of an expression (nil if untracked).
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 
+// Src returns the source text of [pos, end), reading the file the
+// loader parsed it from. ok is false when the file cannot be read
+// (fix construction is skipped, the diagnostic still reports).
+func (p *Pass) Src(pos, end token.Pos) (string, bool) {
+	return p.src.slice(p.Pkg.Fset, pos, end)
+}
+
+// ModulePass carries one module-wide analyzer execution.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	report   func(Diagnostic)
+}
+
+// Report records a fully built finding at pos.
+func (mp *ModulePass) Report(pos token.Pos, d Diagnostic) {
+	d.Pos = mp.Mod.Fset.Position(pos)
+	d.Rule = mp.Analyzer.Name
+	mp.report(d)
+}
+
+// Module is the whole-program view handed to RunModule analyzers.
+type Module struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+	cg   *CallGraph
+}
+
+// CallGraph returns the module call graph, built on first use and
+// shared by every module analyzer in the same Run.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m.Pkgs)
+	}
+	return m.cg
+}
+
 // All returns the standard analyzer set in documentation order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, EIDCmp, LockDiscipline, ErrWrap, FloatEq, ObsHook}
+	return []*Analyzer{Determinism, EIDCmp, LockDiscipline, LockHeld, WALOrder, ErrWrap, FloatEq, ObsHook}
 }
 
 // ignoreKey locates a suppression: one rule on one line of one file.
@@ -88,6 +187,14 @@ type ignoreKey struct {
 	file string
 	line int
 	rule string
+}
+
+// ignoreRec is one suppression directive with usage tracking for the
+// unused-ignore check.
+type ignoreRec struct {
+	pos  token.Position
+	rule string
+	used bool
 }
 
 // IgnorePrefix introduces a suppression comment:
@@ -101,8 +208,7 @@ const IgnorePrefix = "lint:ignore"
 
 // collectIgnores scans a package's comments for suppression directives.
 // Malformed directives are reported as diagnostics via report.
-func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]bool {
-	ignores := make(map[ignoreKey]bool)
+func collectIgnores(pkg *Package, ignores map[ignoreKey]*ignoreRec, report func(Diagnostic)) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -123,33 +229,89 @@ func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]bool {
 					continue
 				}
 				for _, rule := range strings.Split(fields[0], ",") {
-					ignores[ignoreKey{file: pos.Filename, line: pos.Line, rule: rule}] = true
+					ignores[ignoreKey{file: pos.Filename, line: pos.Line, rule: rule}] =
+						&ignoreRec{pos: pos, rule: rule}
 				}
 			}
 		}
 	}
-	return ignores
+}
+
+// Options tunes a Run.
+type Options struct {
+	// UnusedIgnores additionally reports //lint:ignore directives that
+	// suppressed nothing (rule "unused-ignore"). Only directives naming
+	// a rule in the executed analyzer set are considered, so running a
+	// rule subset never mislabels another rule's suppression as stale.
+	UnusedIgnores bool
 }
 
 // Run applies the analyzers to every package, drops suppressed findings,
 // and returns the rest sorted by position then rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunOpts(pkgs, analyzers, Options{})
+}
+
+// RunOpts is Run with Options.
+func RunOpts(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
 	var diags []Diagnostic
+	ignores := make(map[ignoreKey]*ignoreRec)
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg, func(d Diagnostic) { diags = append(diags, d) })
-		suppressed := func(d Diagnostic) bool {
-			return ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
-				ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+		collectIgnores(pkg, ignores, func(d Diagnostic) { diags = append(diags, d) })
+	}
+	suppressed := func(d Diagnostic) bool {
+		if rec := ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}]; rec != nil {
+			rec.used = true
+			return true
 		}
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
-				if !suppressed(d) {
-					diags = append(diags, d)
-				}
-			}}
-			a.Run(pass)
+		if rec := ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]; rec != nil {
+			rec.used = true
+			return true
+		}
+		return false
+	}
+	report := func(d Diagnostic) {
+		if !suppressed(d) {
+			diags = append(diags, d)
 		}
 	}
+
+	src := newSrcCache()
+	var mod *Module
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, src: src, report: report})
+			}
+		case a.RunModule != nil:
+			if mod == nil {
+				mod = &Module{Pkgs: pkgs}
+				if len(pkgs) > 0 {
+					mod.Fset = pkgs[0].Fset
+				}
+			}
+			a.RunModule(&ModulePass{Analyzer: a, Mod: mod, report: report})
+		}
+	}
+
+	if opts.UnusedIgnores {
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, rec := range ignores {
+			if !rec.used && ran[rec.rule] {
+				diags = append(diags, Diagnostic{
+					Pos:  rec.pos,
+					Rule: "unused-ignore",
+					Message: fmt.Sprintf(
+						"//%s %s suppresses no finding; delete the stale directive", IgnorePrefix, rec.rule),
+				})
+			}
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -224,3 +386,14 @@ func moduleSentinel(obj types.Object) bool {
 
 // modulePath is the module all analyzers treat as "ours".
 const modulePath = "picl"
+
+// inScope reports whether a package path sits inside one of the given
+// package subtrees.
+func inScope(path string, scope []string) bool {
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoaderNoModule: a directory tree without go.mod cannot anchor a
+// loader.
+func TestLoaderNoModule(t *testing.T) {
+	dir := t.TempDir() // no go.mod anywhere at or above a fresh temp dir... except /tmp parents
+	// Guard against a stray go.mod in a parent of the temp root.
+	if _, err := moduleRoot(dir); err == nil {
+		t.Skip("a go.mod exists above the temp dir; cannot exercise the error path")
+	}
+	if _, _, err := NewLoader(dir); err == nil ||
+		!strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("NewLoader without go.mod: err = %v, want 'no go.mod'", err)
+	}
+}
+
+// TestLoaderBadPattern: go list failures surface with their stderr.
+func TestLoaderBadPattern(t *testing.T) {
+	if _, _, err := NewLoader(".", "./does-not-exist-xyz"); err == nil ||
+		!strings.Contains(err.Error(), "go list") {
+		t.Fatalf("bad pattern: err = %v, want go list failure", err)
+	}
+}
+
+// TestLoaderMissingExportData: a loader built without a dependency in
+// its pattern set has no export data for it; importing must fail with
+// the lookup error, not a silent partial package.
+func TestLoaderMissingExportData(t *testing.T) {
+	// "fmt" only: the closure contains fmt's deps but not math/rand.
+	ld, _, err := NewLoader(".", "fmt")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := t.TempDir()
+	src := "package p\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ld.CheckDir(dir, "picl/lintdata/noexport")
+	if err == nil {
+		t.Fatal("CheckDir with missing export data succeeded")
+	}
+	if !strings.Contains(err.Error(), "no export data") &&
+		!strings.Contains(err.Error(), "math/rand") {
+		t.Errorf("err = %v, want a missing-export-data failure naming the import", err)
+	}
+}
+
+// TestLoaderBrokenPackage: syntax errors fail the parse, type errors
+// fail the check — both must name the problem.
+func TestLoaderBrokenPackage(t *testing.T) {
+	ld := testLoader(t)
+
+	t.Run("syntax", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "bad.go"),
+			[]byte("package p\n\nfunc broken( {\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ld.CheckDir(dir, "picl/lintdata/broken"); err == nil {
+			t.Fatal("CheckDir parsed a syntactically broken package")
+		}
+	})
+
+	t.Run("types", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "bad.go"),
+			[]byte("package p\n\nvar x int = \"not an int\"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ld.CheckDir(dir, "picl/lintdata/illtyped")
+		if err == nil || !strings.Contains(err.Error(), "type-checking") {
+			t.Fatalf("err = %v, want a type-checking failure", err)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		dir := t.TempDir()
+		_, err := ld.CheckDir(dir, "picl/lintdata/empty")
+		if err == nil || !strings.Contains(err.Error(), "no Go files") {
+			t.Fatalf("err = %v, want 'no Go files'", err)
+		}
+	})
+}
+
+// TestLoaderVendoredModule: a self-contained module with a vendor
+// directory loads through the same `go list` bridge (vendored packages
+// come back with export data like any dependency), and a vendor tree
+// inconsistent with go.mod surfaces go list's error instead of a
+// partial load.
+func TestLoaderVendoredModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vmod\n\ngo 1.22\n\nrequire example.com/dep v1.0.0\n")
+	write("main.go", "package main\n\nimport \"example.com/dep\"\n\nfunc main() { dep.F() }\n")
+	write("vendor/modules.txt", "# example.com/dep v1.0.0\n## explicit; go 1.22\nexample.com/dep\n")
+	write("vendor/example.com/dep/dep.go", "package dep\n\nfunc F() {}\n")
+
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule(vendored): %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "vmod" {
+		t.Fatalf("loaded %v, want exactly [vmod] (vendored deps are DepOnly)", paths)
+	}
+
+	// Now break the vendor metadata: modules.txt no longer lists the
+	// package the module imports.
+	write("vendor/modules.txt", "# example.com/other v1.0.0\n## explicit; go 1.22\nexample.com/other\n")
+	if _, err := LoadModule(dir); err == nil {
+		t.Fatal("LoadModule succeeded with an inconsistent vendor directory")
+	}
+}

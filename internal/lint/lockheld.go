@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"sort"
+	"strings"
+)
+
+// LockHeld is the interprocedural half of the mutex discipline.
+// lockdiscipline checks each method body in isolation — a `...Locked`
+// method is trusted to run under the owner's mu, but nothing checked
+// that its callers actually hold it, and a method that locks mu could
+// be called from a path that already holds it. LockHeld walks every
+// function with a source-order lock-state machine and the call graph's
+// acquire summaries:
+//
+//	locked-no-lock: a call to an owner's ...Locked method on a path
+//	    where the owner's mu is not held (and the caller is not itself
+//	    a ...Locked method of the same receiver).
+//	double-lock: acquiring a mu (directly or by calling a method whose
+//	    summary acquires it, transitively) while the same object's mu
+//	    is already held — an immediate deadlock with sync.Mutex.
+var LockHeld = &Analyzer{
+	Name:      "lockheld",
+	Doc:       "call-graph lock discipline: ...Locked methods only reachable with the owning mu held; double-acquisition paths flagged",
+	RunModule: runLockHeld,
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockRead
+	lockEx
+)
+
+// acqInfo summarizes whether calling a method acquires its own
+// receiver's mu (directly or transitively), with the chain down to the
+// Lock call site.
+type acqInfo struct {
+	kind  lockKind
+	chain []Related
+}
+
+type lockEngine struct {
+	cg      *CallGraph
+	fset    *token.FileSet
+	owned   map[*types.Named]bool
+	acq     map[*types.Func]*acqInfo
+	walking map[*types.Func]bool
+}
+
+func runLockHeld(mp *ModulePass) {
+	cg := mp.Mod.CallGraph()
+	eng := &lockEngine{
+		cg:      cg,
+		fset:    mp.Mod.Fset,
+		owned:   muOwnedTypes(mp.Mod.Pkgs),
+		acq:     make(map[*types.Func]*acqInfo),
+		walking: make(map[*types.Func]bool),
+	}
+	if len(eng.owned) == 0 {
+		return
+	}
+
+	nodes := make([]*FuncNode, 0, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+
+	for _, node := range nodes {
+		w := &lockWalker{eng: eng, node: node, mp: mp}
+		st := make(lockState)
+		// A ...Locked method's contract is that its receiver's mu is
+		// held on entry.
+		if owner := recvNamed(node.Fn); owner != nil && eng.owned[owner] &&
+			strings.HasSuffix(node.Fn.Name(), "Locked") {
+			if key := canonExpr(node.Pkg.Info, recvIdent(node.Decl)); key != "" {
+				st[key] = lockEx
+			}
+		}
+		if node.Decl.Body != nil {
+			w.stmts(node.Decl.Body.List, st)
+		}
+		// Closures run with an unknown lock state; analyze them with an
+		// empty one (their own lock/unlock pairs still get checked).
+		for len(w.closures) > 0 {
+			lit := w.closures[0]
+			w.closures = w.closures[1:]
+			w.stmts(lit.Body.List, make(lockState))
+		}
+	}
+}
+
+// muOwnedTypes finds the named struct types with a `mu` mutex field —
+// the owners whose Locked/lock protocol the analyzer enforces.
+func muOwnedTypes(pkgs []*Package) map[*types.Named]bool {
+	owned := make(map[*types.Named]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					return true
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					fld := st.Field(i)
+					if fld.Name() == "mu" && isMutex(fld.Type()) {
+						owned[named] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return owned
+}
+
+// lockState maps canonical receiver expressions ("the variable r",
+// "the field s.box") to the lock they hold.
+type lockState map[string]lockKind
+
+// canonExpr renders an expression as a stable key: identifiers by
+// their resolved object, selector chains by object plus field names.
+// Unsupported shapes return "" (untracked — no state, no reports that
+// depend on state).
+func canonExpr(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("v%p", obj)
+		}
+	case *ast.SelectorExpr:
+		if x := canonExpr(info, e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// recvIdent returns a method declaration's receiver identifier (nil
+// for plain functions and anonymous receivers).
+func recvIdent(fd *ast.FuncDecl) ast.Expr {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0]
+}
+
+// lockWalker tracks lock state through one function in source order.
+// Branches whose body terminates (early-return unlock idiom) have
+// their state changes discarded; other branch states are merged
+// last-writer-wins — optimistic on purpose: false positives in a gate
+// are worse than the occasional missed exotic path, which the dynamic
+// race detector still covers.
+type lockWalker struct {
+	eng      *lockEngine
+	node     *FuncNode
+	mp       *ModulePass
+	closures []*ast.FuncLit
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) {
+	for _, s := range list {
+		w.stmt(s, st)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.exprs(s.Cond, st)
+		then := maps.Clone(st)
+		w.stmts(s.Body.List, then)
+		if !terminates(s.Body.List) {
+			maps.Copy(st, then)
+		}
+		if s.Else != nil {
+			els := maps.Clone(st)
+			w.stmt(s.Else, els)
+			if blk, ok := s.Else.(*ast.BlockStmt); !ok || !terminates(blk.List) {
+				maps.Copy(st, els)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.exprs(s.Cond, st)
+		}
+		body := maps.Clone(st)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		maps.Copy(st, body)
+	case *ast.RangeStmt:
+		w.exprs(s.X, st)
+		body := maps.Clone(st)
+		w.stmts(s.Body.List, body)
+		maps.Copy(st, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Clauses are alternatives; walk each against a copy and keep
+		// the pre-switch state afterwards.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				w.stmts(n.Body, maps.Clone(st))
+				return false
+			case *ast.CommClause:
+				w.stmts(n.Body, maps.Clone(st))
+				return false
+			}
+			return true
+		})
+	case *ast.DeferStmt:
+		w.deferredCall(s.Call, st)
+	case *ast.GoStmt:
+		w.deferredCall(s.Call, st)
+	default:
+		w.exprs(s, st)
+	}
+}
+
+// deferredCall handles `defer`/`go`: a deferred Unlock keeps the lock
+// held for the rest of the body; other deferred work runs under an
+// unknown state, so only its function literals are collected.
+func (w *lockWalker) deferredCall(call *ast.CallExpr, st lockState) {
+	if key, op, ok := muOp(w.node.Pkg.Info, call); ok {
+		_, _ = key, op // defer mu.Unlock(): state unchanged until return
+		return
+	}
+	for _, n := range append([]ast.Expr{call.Fun}, call.Args...) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok {
+				w.closures = append(w.closures, lit)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// exprs walks any non-control-flow node in source order, updating lock
+// state at mutex operations and checking calls.
+func (w *lockWalker) exprs(n ast.Node, st lockState) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.closures = append(w.closures, x)
+			return false
+		case *ast.CallExpr:
+			w.call(x, st)
+		}
+		return true
+	})
+}
+
+// muOp matches `<expr>.mu.Lock()` and friends, returning the canonical
+// owner key and the method name.
+func muOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel || inner.Sel.Name != "mu" || !isMutex(info.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	return canonExpr(info, inner.X), sel.Sel.Name, true
+}
+
+func (w *lockWalker) call(call *ast.CallExpr, st lockState) {
+	info := w.node.Pkg.Info
+	if key, op, ok := muOp(info, call); ok {
+		if key == "" {
+			return
+		}
+		switch op {
+		case "Lock":
+			if st[key] != lockNone {
+				w.mp.Report(call.Pos(), Diagnostic{
+					Code:    "double-lock",
+					Message: "mu is already held on this path; locking it again deadlocks",
+				})
+			}
+			st[key] = lockEx
+		case "RLock":
+			if st[key] == lockEx {
+				w.mp.Report(call.Pos(), Diagnostic{
+					Code:    "double-lock",
+					Message: "mu is write-held on this path; RLock would deadlock",
+				})
+			}
+			st[key] = lockRead
+		case "Unlock", "RUnlock":
+			st[key] = lockNone
+		}
+		return
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return
+	}
+	owner := recvNamed(callee)
+	if owner == nil || !w.eng.owned[owner] {
+		return
+	}
+	key := canonExpr(info, sel.X)
+
+	if strings.HasSuffix(callee.Name(), "Locked") {
+		if key == "" || st[key] == lockNone {
+			w.mp.Report(call.Pos(), Diagnostic{
+				Code: "locked-no-lock",
+				Message: fmt.Sprintf(
+					"call to %s requires %s.mu to be held, but no lock is held on this path "+
+						"(lock it first, or suffix the calling method with Locked)",
+					callee.FullName(), owner.Obj().Name()),
+			})
+		}
+		return
+	}
+
+	if acq := w.eng.acquire(callee); acq.kind != lockNone && key != "" && st[key] != lockNone {
+		if st[key] == lockEx || acq.kind == lockEx {
+			w.mp.Report(call.Pos(), Diagnostic{
+				Code: "double-lock",
+				Message: fmt.Sprintf(
+					"%s.mu is already held on this path; %s acquires it again and would deadlock",
+					owner.Obj().Name(), callee.FullName()),
+				Related: acq.chain,
+			})
+		}
+	}
+}
+
+// acquire summarizes whether fn locks its own receiver's mu, directly
+// or through calls on the same receiver. Cycles and unknown bodies are
+// treated as non-acquiring (conservative toward silence).
+func (e *lockEngine) acquire(fn *types.Func) *acqInfo {
+	if a, ok := e.acq[fn]; ok {
+		return a
+	}
+	a := &acqInfo{}
+	node, ok := e.cg.Nodes[fn]
+	if !ok || e.walking[fn] || node.Decl.Body == nil {
+		return a
+	}
+	recv := recvIdent(node.Decl)
+	if recv == nil {
+		e.acq[fn] = a
+		return a
+	}
+	recvKey := canonExpr(node.Pkg.Info, recv)
+	e.walking[fn] = true
+	defer delete(e.walking, fn)
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false // may run outside the call's dynamic extent
+		case *ast.CallExpr:
+			if key, op, ok := muOp(node.Pkg.Info, n); ok {
+				if key == recvKey {
+					switch op {
+					case "Lock":
+						if a.kind != lockEx {
+							a.kind = lockEx
+							a.chain = []Related{{
+								Pos:     e.fset.Position(n.Pos()),
+								Message: fmt.Sprintf("%s locks mu here", fn.FullName()),
+							}}
+						}
+					case "RLock":
+						if a.kind == lockNone {
+							a.kind = lockRead
+							a.chain = []Related{{
+								Pos:     e.fset.Position(n.Pos()),
+								Message: fmt.Sprintf("%s read-locks mu here", fn.FullName()),
+							}}
+						}
+					}
+				}
+				return true
+			}
+			callee := calleeFunc(node.Pkg.Info, n)
+			if callee == nil || callee == fn {
+				return true
+			}
+			sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !isSel || canonExpr(node.Pkg.Info, sel.X) != recvKey {
+				return true
+			}
+			if sub := e.acquire(callee); sub.kind != lockNone &&
+				(a.kind == lockNone || (a.kind == lockRead && sub.kind == lockEx)) {
+				a.kind = sub.kind
+				a.chain = append([]Related{{
+					Pos:     e.fset.Position(n.Pos()),
+					Message: fmt.Sprintf("via %s", callee.FullName()),
+				}}, sub.chain...)
+			}
+		}
+		return true
+	})
+	e.acq[fn] = a
+	return a
+}
+
+// terminates reports whether a statement list always leaves the
+// enclosing scope (return, branch, or panic as its last statement).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}

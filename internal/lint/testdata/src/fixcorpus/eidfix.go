@@ -1,0 +1,28 @@
+// Package fixtest is the -fix corpus: every finding in this package
+// carries a mechanical fix, and the committed goldens under
+// testdata/fix/ are the exact bytes ApplyFixes must produce
+// (TestFixCorpus asserts byte identity).
+package fixtest
+
+import "picl/internal/mem"
+
+func compare(a, b mem.EpochID) {
+	_ = a < b
+	_ = a <= b
+	_ = a > b
+	_ = a >= b
+	_ = 4 < b
+	_ = mem.EpochID(2) >= b
+}
+
+func distance(a, b mem.EpochID) {
+	c := a - b
+	_ = c
+	d := a - 3
+	_ = d
+	a -= 2
+	a -= b
+	b--
+	_ = a
+	_ = b
+}

@@ -1,0 +1,22 @@
+package fixtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBoom stands in for the module's facade sentinels: a package-level
+// Err* error, so moduleSentinel treats it exactly like picl.ErrCrashed.
+var ErrBoom = errors.New("boom")
+
+func wrap(op string) error {
+	return fmt.Errorf("%s failed: %v", op, ErrBoom)
+}
+
+func wrapFirst() error {
+	return fmt.Errorf("outer: %s", ErrBoom)
+}
+
+func ratio(pct int) error {
+	return fmt.Errorf("%d%% done, still: %v", pct, ErrBoom)
+}

@@ -1,0 +1,174 @@
+// Package wtest exercises the walorder analyzer: all three rules of
+// the write-ahead ordering contract, the interprocedural chain case,
+// discharge by an ordering caller, the zero-marker reset exemption,
+// and suppression. The type names matter — effect classification keys
+// on Marker/Image/Log receivers, mirroring the real storage layer.
+package wtest
+
+import "os"
+
+type undoLog struct{}
+
+func (*undoLog) AppendBlock(b []byte) error { return nil }
+func (*undoLog) Sync() error                { return nil }
+
+type imageStore struct{}
+
+func (*imageStore) WriteLine(off int64, b []byte) error { return nil }
+func (*imageStore) Sync() error                         { return nil }
+
+type store struct {
+	log *undoLog
+	img *imageStore
+	mk  *goodMarker
+}
+
+// BadDirect issues an image write with no undo coverage at all: the
+// canonical rule-1 violation.
+func (s *store) BadDirect(b []byte) error {
+	return s.img.WriteLine(0, b)
+}
+
+// BadHalf appends the undo block but never syncs it — the crash window
+// rule 1 exists for.
+func (s *store) BadHalf(b []byte) error {
+	if err := s.log.AppendBlock(b); err != nil {
+		return err
+	}
+	return s.img.WriteLine(0, b)
+}
+
+// GoodDirect is the contract followed: append, sync, then write.
+func (s *store) GoodDirect(b []byte) error {
+	if err := s.log.AppendBlock(b); err != nil {
+		return err
+	}
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	return s.img.WriteLine(0, b)
+}
+
+// mirror performs the write for its callers; the obligation propagates
+// to them, so no diagnostic lands here.
+func (s *store) mirror(b []byte) error { return s.img.WriteLine(0, b) }
+
+// evictViaHelper reaches the unordered write through mirror — the
+// interprocedural rule-1 violation, reported at this call with the
+// chain attached.
+func (s *store) evictViaHelper(b []byte) error {
+	return s.mirror(b)
+}
+
+// flush provides the write-ahead ordering for whatever follows it.
+func (s *store) flush(b []byte) error {
+	if err := s.log.AppendBlock(b); err != nil {
+		return err
+	}
+	return s.log.Sync()
+}
+
+// evictOrdered discharges mirror's obligation by flushing first.
+func (s *store) evictOrdered(b []byte) error {
+	if err := s.flush(b); err != nil {
+		return err
+	}
+	return s.mirror(b)
+}
+
+// BadMarker advances the marker with neither store synced: rule 2.
+func (s *store) BadMarker(e uint64) error {
+	return s.mk.Set(e)
+}
+
+// HalfMarker syncs the image but not the log — still rule 2.
+func (s *store) HalfMarker(e uint64) error {
+	if err := s.img.Sync(); err != nil {
+		return err
+	}
+	return s.mk.Set(e)
+}
+
+// GoodMarker orders both syncs before the marker replacement.
+func (s *store) GoodMarker(e uint64) error {
+	if err := s.img.Sync(); err != nil {
+		return err
+	}
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	return s.mk.Set(e)
+}
+
+// ResetMarker writes the zero marker over a freshly emptied store; the
+// constant-zero exemption applies (nothing below epoch 0 to cover).
+func (s *store) ResetMarker() error {
+	return s.mk.Set(0)
+}
+
+// migrateRaw is a suppressed rule-1 violation: the justification rides
+// on the directive.
+func (s *store) migrateRaw(b []byte) error {
+	//lint:ignore walorder seed-image bootstrap runs before any log exists
+	return s.img.WriteLine(0, b)
+}
+
+// goodMarker is the atomic replace shape rule 3 requires: staging
+// *.tmp, file fsync, rename, directory fsync.
+type goodMarker struct {
+	path string
+	dirf *os.File
+}
+
+func (m *goodMarker) Set(e uint64) error {
+	tmp := m.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte{byte(e)}); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		return err
+	}
+	return m.dirf.Sync()
+}
+
+// tornMarker rewrites the marker file in place — rule 3's
+// marker-not-atomic violation, reported at the method name.
+type tornMarker struct{ path string }
+
+func (m *tornMarker) Set(e uint64) error {
+	return os.WriteFile(m.path, []byte{byte(e)}, 0o644)
+}
+
+// lazyMarker stages and renames but never fsyncs the staging file or
+// the directory: two rule-3 findings on the rename.
+type lazyMarker struct{ path string }
+
+func (m *lazyMarker) Set(e uint64) error {
+	tmp := m.path + ".tmp"
+	if err := os.WriteFile(tmp, []byte{byte(e)}, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, m.path)
+}
+
+// publish fsyncs and dir-fsyncs correctly but renames a non-staging
+// source: rule 3's replace-not-tmp.
+func publish(f *os.File, dirf *os.File, from, to string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(from, to); err != nil {
+		return err
+	}
+	return dirf.Sync()
+}

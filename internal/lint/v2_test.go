@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWALOrderGolden covers all three ordering rules: W1 directly (29,
+// 38) and through a call chain (60), W2 with no syncs (81) and half
+// the syncs (89), W3's in-place rewrite (148), unsynced rename (161,
+// twice: no file fsync and no dir fsync) and non-staging rename (170).
+// The clean shapes — GoodDirect, evictOrdered, GoodMarker, the
+// zero-marker reset, goodMarker.Set and the suppressed migrateRaw —
+// are asserted by absence.
+func TestWALOrderGolden(t *testing.T) {
+	runGolden(t, "walorder", "picl/internal/storage/wtest", WALOrder, []expect{
+		{29, "walorder"},  // BadDirect: write, no undo coverage
+		{38, "walorder"},  // BadHalf: append never synced
+		{60, "walorder"},  // evictViaHelper -> mirror chain
+		{81, "walorder"},  // BadMarker: no syncs before Set
+		{89, "walorder"},  // HalfMarker: log sync missing
+		{148, "walorder"}, // tornMarker.Set rewrites in place
+		{161, "walorder"}, // lazyMarker rename: staging file not fsynced
+		{161, "walorder"}, // lazyMarker rename: no directory fsync
+		{170, "walorder"}, // publish renames a non-staging source
+	})
+}
+
+// TestWALOrderScope: the same package under a path outside
+// storage/core/checkpoint is one of the baseline schemes and must not
+// fire.
+func TestWALOrderScope(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "walorder"), "picl/internal/baseline/wtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{WALOrder}) {
+		if d.Rule == "walorder" {
+			t.Errorf("walorder fired outside its package scope: %s", d)
+		}
+	}
+}
+
+// TestWALOrderChain: the interprocedural finding names the chain down
+// to the primitive write.
+func TestWALOrderChain(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "walorder"), "picl/internal/storage/wtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{WALOrder}) {
+		if d.Pos.Line != 60 {
+			continue
+		}
+		if len(d.Related) == 0 {
+			t.Fatalf("chain violation carries no related positions: %s", d)
+		}
+		if !strings.Contains(d.Related[0].Message, "mirror") {
+			t.Errorf("related chain does not name the intermediate callee: %s", d)
+		}
+		if d.Code != "image-unordered" {
+			t.Errorf("chain violation Code = %q, want image-unordered", d.Code)
+		}
+		return
+	}
+	t.Fatal("no diagnostic at the chain call site (line 60)")
+}
+
+func TestLockHeldGolden(t *testing.T) {
+	runGolden(t, "lockheld", "picl/lintdata/lhtest", LockHeld, []expect{
+		{32, "lockheld"}, // Bad: Locked call, no lock held
+		{38, "lockheld"}, // free: cross-function lock-free Locked call
+		{45, "lockheld"}, // Deadlock: bump() re-acquires held mu
+		{54, "lockheld"}, // DeadChain: re-acquisition two hops down
+		{69, "lockheld"}, // DoubleDirect: second Lock
+	})
+}
+
+// TestLockHeldChain: the two-hop double-lock names the path to the
+// inner Lock.
+func TestLockHeldChain(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "lockheld"), "picl/lintdata/lhtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{LockHeld}) {
+		if d.Pos.Line != 54 {
+			continue
+		}
+		if d.Code != "double-lock" {
+			t.Errorf("Code = %q, want double-lock", d.Code)
+		}
+		if len(d.Related) < 2 {
+			t.Fatalf("chain double-lock carries %d related positions, want >= 2: %s", len(d.Related), d)
+		}
+		if !strings.Contains(d.Message, "helper") {
+			t.Errorf("diagnostic does not name the re-acquiring callee: %s", d)
+		}
+		last := d.Related[len(d.Related)-1]
+		if !strings.Contains(last.Message, "locks mu") {
+			t.Errorf("chain does not end at the inner Lock: %s", d)
+		}
+		return
+	}
+	t.Fatal("no diagnostic at the chained double-lock (line 54)")
+}
+
+// TestUnusedIgnores: a stale directive is reported only when its rule
+// ran, and only when the option is on.
+func TestUnusedIgnores(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "unusedignore"), "picl/lintdata/uitest")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := RunOpts([]*Package{pkg}, []*Analyzer{EIDCmp, FloatEq}, Options{UnusedIgnores: true})
+	if len(diags) != 1 || diags[0].Rule != "unused-ignore" || diags[0].Pos.Line != 13 {
+		t.Fatalf("with eidcmp+floateq: got %v, want one unused-ignore at line 13", diags)
+	}
+
+	// The eidcmp directive is load-bearing (it suppresses line 11), so
+	// it must never be called stale; floateq's is invisible when
+	// floateq did not run.
+	if diags := RunOpts([]*Package{pkg}, []*Analyzer{EIDCmp}, Options{UnusedIgnores: true}); len(diags) != 0 {
+		t.Fatalf("with eidcmp only: got %v, want none (floateq did not run)", diags)
+	}
+
+	if diags := Run([]*Package{pkg}, []*Analyzer{EIDCmp, FloatEq}); len(diags) != 0 {
+		t.Fatalf("without the option: got %v, want none", diags)
+	}
+}
+
+// TestFixCorpus: applying the suggested fixes to the corrupted corpus
+// must yield byte-identical output to the committed goldens, and every
+// finding in the corpus must be fixable. Regenerate goldens with
+// UPDATE_GOLDEN=1 go test ./internal/lint -run TestFixCorpus.
+func TestFixCorpus(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "fixcorpus"), "picl/lintdata/fixtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{EIDCmp, ErrWrap})
+	if len(diags) == 0 {
+		t.Fatal("fix corpus produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Errorf("corpus finding has no fix: %s", d)
+		}
+	}
+	fixed, n, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if n != len(diags) {
+		t.Errorf("applied %d fixes, want %d", n, len(diags))
+	}
+	if len(fixed) != 2 {
+		t.Fatalf("fixed %d files, want 2", len(fixed))
+	}
+	for file, got := range fixed {
+		golden := filepath.Join("testdata", "fix", filepath.Base(file)+".golden")
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				filepath.Base(file), got, want)
+		}
+	}
+}
+
+// TestFixedCorpusClean: the goldens themselves must carry no
+// eidcmp/errwrap findings — -fix converges in one step.
+func TestFixedCorpusClean(t *testing.T) {
+	dir := t.TempDir()
+	goldens, err := filepath.Glob(filepath.Join("testdata", "fix", "*.golden"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no goldens found: %v", err)
+	}
+	for _, g := range goldens {
+		b, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(g), ".golden")
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := testLoader(t).CheckDir(dir, "picl/lintdata/fixtest")
+	if err != nil {
+		t.Fatalf("goldens do not type-check: %v", err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{EIDCmp, ErrWrap}); len(diags) != 0 {
+		t.Errorf("fixed corpus still has findings: %v", diags)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "fixcorpus"), "picl/lintdata/fixtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{EIDCmp, ErrWrap})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(out) != len(diags) {
+		t.Fatalf("JSON has %d findings, want %d", len(out), len(diags))
+	}
+	for _, f := range out {
+		if f["rule"] == "" || f["file"] == "" || f["line"] == nil {
+			t.Errorf("finding missing required fields: %v", f)
+		}
+		if f["fixable"] != true {
+			t.Errorf("corpus finding not marked fixable: %v", f)
+		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "walorder"), "picl/internal/storage/wtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{WALOrder})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, wd, All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "picl-lint" {
+		t.Fatalf("bad tool block: %+v", log.Runs)
+	}
+	if len(log.Runs[0].Results) != len(diags) {
+		t.Fatalf("SARIF has %d results, want %d", len(log.Runs[0].Results), len(diags))
+	}
+	seenCode := false
+	for _, r := range log.Runs[0].Results {
+		if strings.HasPrefix(r.RuleID, "walorder/") {
+			seenCode = true
+		}
+		loc := r.Locations[0].Physical
+		if filepath.IsAbs(loc.Artifact.URI) || strings.Contains(loc.Artifact.URI, "\\") {
+			t.Errorf("URI not repo-relative slash-form: %q", loc.Artifact.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result missing startLine: %+v", r)
+		}
+	}
+	if !seenCode {
+		t.Error("no walorder/<code> rule IDs in SARIF output")
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) == 0 {
+		t.Error("SARIF driver carries no rule metadata")
+	}
+}

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// WALOrder statically enforces the durable store's three-rule
+// write-ahead ordering contract (DESIGN.md §10.2, internal/storage
+// package doc):
+//
+//	W1 (image-unordered): an in-place image write (WriteLine /
+//	    PersistLineWrite) must be preceded, on every path the analyzer
+//	    can see, by an undo-log AppendBlock followed by a log Sync —
+//	    otherwise a crash mid-write leaves a torn line with no durable
+//	    undo coverage.
+//	W2 (marker-unordered): replacing the persisted-epoch marker
+//	    (marker Set) must be preceded by both an image Sync and a log
+//	    Sync — the marker asserts everything at or below it is durable.
+//	W3 (marker-not-atomic and friends): inside internal/storage, the
+//	    marker file must be replaced atomically: write a *.tmp staging
+//	    file, fsync it, os.Rename over the live name, fsync the
+//	    directory. A bare rewrite can tear; an unsynced rename can
+//	    vanish.
+//
+// W1 and W2 are interprocedural: effects.go propagates unordered
+// writes bottom-up through the call graph, a caller that establishes
+// the ordering before the call discharges the obligation, and only
+// call-graph roots (functions with no in-scope static caller) report —
+// with the call chain to the primitive attached as related positions.
+var WALOrder = &Analyzer{
+	Name:      "walorder",
+	Doc:       "write-ahead ordering: undo append+sync before image writes, image+log sync before marker replacement, atomic tmp/fsync/rename/dir-fsync marker replace",
+	RunModule: runWALOrder,
+}
+
+// walScope is where the contract applies: the durable store itself and
+// the two packages that drive it. Baseline checkpoint schemes under
+// internal/baseline intentionally skip undo logging and stay exempt.
+var walScope = []string{
+	modulePath + "/internal/storage",
+	modulePath + "/internal/core",
+	modulePath + "/internal/checkpoint",
+}
+
+// walStoragePrefix bounds rule W3 to the storage layer, where the
+// marker files live.
+const walStoragePrefix = modulePath + "/internal/storage"
+
+func runWALOrder(mp *ModulePass) {
+	cg := mp.Mod.CallGraph()
+	eng := newEffEngine(cg, mp.Mod.Fset)
+
+	// Sort nodes by position so summary construction and reporting are
+	// deterministic across runs.
+	nodes := make([]*FuncNode, 0, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		if inScope(n.Pkg.Path, walScope) {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+
+	for _, node := range nodes {
+		s := eng.summary(node.Fn)
+		if isWALRoot(cg, node) {
+			for _, ob := range s.unorderedImage {
+				mp.Report(ob.pos, Diagnostic{
+					Code: "image-unordered",
+					Message: "in-place image write is not preceded by a synced undo-log append on this path; " +
+						"append and sync the covering undo block first (write-ahead rule 1)",
+					Related: relatedTail(mp.Mod.Fset.Position(ob.pos), ob),
+				})
+			}
+			for _, ob := range s.unorderedMarker {
+				mp.Report(ob.pos, Diagnostic{
+					Code: "marker-unordered",
+					Message: "persisted-epoch marker is replaced without a preceding image sync and log sync; " +
+						"sync both stores before advancing the marker (ordering rule 2)",
+					Related: relatedTail(mp.Mod.Fset.Position(ob.pos), ob),
+				})
+			}
+		}
+		if strings.HasPrefix(node.Pkg.Path, walStoragePrefix) {
+			checkReplaceShape(mp, eng, node, s)
+		}
+	}
+}
+
+// isWALRoot reports whether no other in-scope function statically calls
+// node — those callers would have checked (or inherited) the
+// obligation already, so only roots report, keeping one violation to
+// one diagnostic. Self-recursion does not make a function a non-root.
+func isWALRoot(cg *CallGraph, node *FuncNode) bool {
+	for _, caller := range cg.Callers[node.Fn] {
+		if caller.Fn != node.Fn && inScope(caller.Pkg.Path, walScope) {
+			return false
+		}
+	}
+	return true
+}
+
+// relatedTail drops a chain whose only entry restates the reported
+// position (direct, intra-function violations need no chain);
+// propagated obligations keep theirs even at length one — the entry
+// points into the callee.
+func relatedTail(at token.Position, ob obligation) []Related {
+	if len(ob.chain) == 1 && ob.chain[0].Pos == at {
+		return nil
+	}
+	return ob.chain
+}
+
+// checkReplaceShape enforces W3 on one storage-layer function: every
+// os.Rename must sit inside the write-tmp / fsync / rename / dir-fsync
+// sequence, and every marker Set implementation must either be that
+// sequence or delegate to a marker store that is.
+func checkReplaceShape(mp *ModulePass, eng *effEngine, node *FuncNode, s *effSummary) {
+	tmpSrcs := tmpTainted(node)
+	var sawFileSync bool
+	for i, ev := range s.events {
+		switch ev.kind {
+		case effFileSync:
+			sawFileSync = true
+		case effRename:
+			if !sawFileSync {
+				mp.Report(ev.pos, Diagnostic{
+					Code: "replace-unsynced",
+					Message: "os.Rename publishes a staging file that was not fsynced first; " +
+						"a crash can publish a torn file (atomic-replace rule 3)",
+				})
+			}
+			if !dirSyncFollows(s.events[i+1:]) {
+				mp.Report(ev.pos, Diagnostic{
+					Code: "replace-no-dirsync",
+					Message: "no directory fsync after os.Rename; the rename itself may not be durable " +
+						"(atomic-replace rule 3)",
+				})
+			}
+			if len(ev.call.Args) > 0 && !isTmpExpr(ev.call.Args[0], tmpSrcs) {
+				mp.Report(ev.pos, Diagnostic{
+					Code: "replace-not-tmp",
+					Message: "os.Rename source is not a *.tmp staging file; replace files via " +
+						"write-temp, fsync, rename, dir-fsync (atomic-replace rule 3)",
+				})
+			}
+		}
+	}
+	// A marker-class Set must be (or delegate to) the atomic shape.
+	if isMarkerPrimitive(node.Fn) && !s.sawRename && !delegatesMarkerSet(eng, node, s) {
+		mp.Report(node.Decl.Name.Pos(), Diagnostic{
+			Code: "marker-not-atomic",
+			Message: fmt.Sprintf("%s must replace the marker file atomically "+
+				"(write *.tmp, fsync, os.Rename, fsync directory) or delegate to a marker store that does",
+				node.Fn.FullName()),
+		})
+	}
+}
+
+// dirSyncFollows reports whether a directory fsync appears in the
+// remaining event stream.
+func dirSyncFollows(events []effEvent) bool {
+	for _, ev := range events {
+		if ev.kind == effDirSync {
+			return true
+		}
+	}
+	return false
+}
+
+// delegatesMarkerSet reports whether a marker Set forwards the
+// replacement to another marker store's Set or to a helper performing
+// the rename (the fault-injection wrapper pattern).
+func delegatesMarkerSet(eng *effEngine, node *FuncNode, s *effSummary) bool {
+	for _, ev := range s.events {
+		switch ev.kind {
+		case effMarkerSet:
+			if ev.callee != node.Fn {
+				return true
+			}
+		case effCall:
+			cs := eng.summary(ev.callee)
+			if cs.sawMarkerSet || cs.sawRename {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tmpTainted collects the local variables assigned from an expression
+// containing a ".tmp" string literal — the staging-path idiom
+// (`tmp := path + ".tmp"`).
+func tmpTainted(node *FuncNode) map[string]bool {
+	out := make(map[string]bool)
+	if node.Decl.Body == nil {
+		return out
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if exprMentionsTmp(as.Rhs[i], out) {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprMentionsTmp reports whether e contains a ".tmp" string literal or
+// an already-tainted identifier.
+func exprMentionsTmp(e ast.Expr, tainted map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.STRING && strings.Contains(n.Value, ".tmp") {
+				found = true
+			}
+		case *ast.Ident:
+			if tainted[n.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTmpExpr reports whether a rename source expression is recognizably
+// a staging path: a tainted identifier or an expression mentioning
+// ".tmp" directly.
+func isTmpExpr(e ast.Expr, tainted map[string]bool) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return tainted[id.Name]
+	}
+	return exprMentionsTmp(e, tainted)
+}
