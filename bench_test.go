@@ -300,7 +300,7 @@ func BenchmarkAvailabilityReport(b *testing.B) {
 // --- substrate microbenchmarks ---------------------------------------------
 //
 // The bodies live in internal/perf, shared with cmd/picl-perf so the
-// BENCH_PR4.json comparator gates on exactly what these wrappers run.
+// BENCH_PR9.json comparator gates on exactly what these wrappers run.
 
 func BenchmarkCacheLookupHit(b *testing.B)     { perf.CacheLookupHit(b) }
 func BenchmarkCacheInsertEvict(b *testing.B)   { perf.CacheInsertEvict(b) }
@@ -311,6 +311,8 @@ func BenchmarkUndoLogAppendGC(b *testing.B)    { perf.UndoLogAppendGC(b) }
 func BenchmarkImageSnapshotCOW(b *testing.B)   { perf.ImageSnapshotCOW(b) }
 func BenchmarkImageSnapshotClone(b *testing.B) { perf.ImageSnapshotClone(b) }
 func BenchmarkSimThroughputPiCL(b *testing.B)  { perf.SimThroughputPiCL(b) }
+
+func BenchmarkSimThroughputPiCLSharded(b *testing.B) { perf.SimThroughputPiCLSharded(b) }
 
 func BenchmarkRecoveryScan(b *testing.B) {
 	// Recovery speed over a populated log.

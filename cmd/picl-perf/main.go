@@ -1,7 +1,8 @@
 // Command picl-perf runs the substrate microbenchmarks (internal/perf,
 // the same bodies `go test -bench` runs) plus the Fig. 9/Table 5
 // determinism digests, and records everything in a JSON report
-// (BENCH_PR4.json). With -check it compares a fresh run against the
+// (BENCH_PR9.json; BENCH_PR4.json remains committed as the pre-SoA
+// reference). With -check it compares a fresh run against the
 // checked-in report and exits nonzero on regression, so `make
 // bench-check` turns a throughput or determinism regression into a CI
 // failure.
@@ -25,8 +26,8 @@
 //
 // Usage:
 //
-//	picl-perf -out BENCH_PR4.json          # record a new baseline
-//	picl-perf -check -baseline BENCH_PR4.json
+//	picl-perf -out BENCH_PR9.json          # record a new baseline
+//	picl-perf -check -baseline BENCH_PR9.json
 //	picl-perf -check -short                # CI mode: seconds, not minutes
 package main
 
@@ -62,6 +63,7 @@ var benchList = []struct {
 	{"ImageSnapshotCOW", perf.ImageSnapshotCOW},
 	{"ImageSnapshotClone", perf.ImageSnapshotClone},
 	{"SimThroughputPiCL", perf.SimThroughputPiCL},
+	{"SimThroughputPiCLSharded", perf.SimThroughputPiCLSharded},
 }
 
 // shortSubset is the Fig. 9 workload subset hashed in -short (CI) runs;
@@ -98,7 +100,7 @@ type Figures struct {
 	Table5SHA256      string  `json:"table5_sha256"`
 }
 
-// Report is the BENCH_PR4.json schema.
+// Report is the baseline-report (BENCH_PR9.json) schema.
 type Report struct {
 	Host            Host             `json:"host"`
 	Benchmarks      map[string]Bench `json:"benchmarks,omitempty"`
@@ -257,9 +259,9 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR4.json", "write the report here (record mode)")
+		out      = flag.String("out", "BENCH_PR9.json", "write the report here (record mode)")
 		doCheck  = flag.Bool("check", false, "compare against -baseline instead of recording")
-		baseline = flag.String("baseline", "BENCH_PR4.json", "baseline report for -check")
+		baseline = flag.String("baseline", "BENCH_PR9.json", "baseline report for -check")
 		tol      = flag.Float64("tol", 0.10, "allowed fractional timing regression on the same host")
 		short    = flag.Bool("short", false, "quick mode: short benchtime section, small Fig. 9 subset only")
 		jobs     = flag.Int("j", 0, "figure-run workers (0 = NumCPU)")

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"picl/internal/mem"
 	"picl/internal/obs"
@@ -113,43 +114,61 @@ func (h *Hierarchy) SetBackend(b Backend) { h.backend = b }
 // SetTracer installs an event tracer (nil disables tracing).
 func (h *Hierarchy) SetTracer(t obs.Tracer) { h.tr = t }
 
-// snoopPrivate extracts the freshest copy of an LLC line from the owner's
-// private caches, invalidating them if inval is true or merely cleaning
-// them otherwise. It returns the freshest data/EID/dirtiness considering
-// private copies (L1 newest, then L2, then the LLC copy itself).
-func (h *Hierarchy) snoopPrivate(ln *Line, inval bool) (data mem.Word, eid mem.EpochID, dirty bool) {
-	data, eid, dirty = ln.Data, ln.EID, ln.Dirty
-	if ln.Owner < 0 {
-		return data, eid, dirty
-	}
-	owner := int(ln.Owner)
-	l1, l2 := h.l1[owner], h.l2[owner]
-	p1 := l1.Lookup(ln.Addr, false)
-	p2 := l2.Lookup(ln.Addr, false)
-	// Prefer L1 (newest), then L2.
-	if p2 != nil && p2.Dirty {
-		data, eid, dirty = p2.Data, p2.EID, true
-	}
-	if p1 != nil && p1.Dirty {
-		data, eid, dirty = p1.Data, p1.EID, true
-	}
-	if inval {
-		l1.Invalidate(ln.Addr)
-		l2.Invalidate(ln.Addr)
-		ln.Owner = -1
-	} else {
-		// Cleaning without invalidation (a flush/ACS write-back): every
-		// remaining copy must carry the freshest data, or a later clean
-		// eviction of the inner copy would expose a stale outer one.
-		if p1 != nil {
-			p1.Data, p1.EID, p1.Dirty = data, eid, false
+// snoopPrivate extracts the freshest copy of LLC way li (state word s,
+// way mask bit), invalidating the owner's private copies if inval is
+// true or merely cleaning them otherwise. It returns the freshest
+// data/EID/dirtiness considering private copies (L1 newest, then L2,
+// then the LLC copy itself).
+func (h *Hierarchy) snoopPrivate(li, s int, bit uint64, inval bool) (data mem.Word, eid mem.EpochID, dirty bool) {
+	llc := h.llc
+	data, eid, dirty = llc.data[li], llc.eids[li], llc.state[s]&(bit<<dShift) != 0
+	own := llc.owner[li]
+	if own >= 0 {
+		addr := mem.LineAddr(llc.tags[li] - 1)
+		l1, l2 := h.l1[own], h.l2[own]
+		i1 := l1.lookupIdx(addr, false)
+		i2 := l2.lookupIdx(addr, false)
+		// Prefer L1 (newest), then L2.
+		if i2 >= 0 {
+			if s2, b2 := l2.setBitOf(addr, i2); l2.state[s2]&(b2<<dShift) != 0 {
+				data, eid, dirty = l2.data[i2], l2.eids[i2], true
+			}
 		}
-		if p2 != nil {
-			p2.Data, p2.EID, p2.Dirty = data, eid, false
+		if i1 >= 0 {
+			if s1, b1 := l1.setBitOf(addr, i1); l1.state[s1]&(b1<<dShift) != 0 {
+				data, eid, dirty = l1.data[i1], l1.eids[i1], true
+			}
+		}
+		if inval {
+			l1.drop(addr)
+			l2.drop(addr)
+			llc.owner[li] = -1
+		} else {
+			// Cleaning without invalidation (a flush/ACS write-back): every
+			// remaining copy must carry the freshest data, or a later clean
+			// eviction of the inner copy would expose a stale outer one.
+			if i1 >= 0 {
+				s1, b1 := l1.setBitOf(addr, i1)
+				l1.data[i1], l1.eids[i1] = data, eid
+				l1.state[s1] &^= b1 << dShift
+			}
+			if i2 >= 0 {
+				s2, b2 := l2.setBitOf(addr, i2)
+				l2.data[i2], l2.eids[i2] = data, eid
+				l2.state[s2] &^= b2 << dShift
+			}
 		}
 	}
-	ln.PrivDirty = false
+	llc.state[s] &^= bit << pShift
 	return data, eid, dirty
+}
+
+// setBitOf locates way i's state-word slot given the line address it
+// holds: the set index and the way-mask bit (no division — the set falls
+// out of the address).
+func (c *Cache) setBitOf(l mem.LineAddr, i int) (int, uint64) {
+	s := int(uint64(l) & c.setMask)
+	return s, uint64(1) << uint(i-s*c.ways)
 }
 
 // evictLLCVictim handles a line evicted from the LLC: back-invalidate the
@@ -159,11 +178,11 @@ func (h *Hierarchy) evictLLCVictim(now uint64, v *Line) uint64 {
 	data, eid, dirty := v.Data, v.EID, v.Dirty
 	if v.Owner >= 0 {
 		owner := int(v.Owner)
-		if p, ok := h.l2[owner].Invalidate(v.Addr); ok && p.Dirty {
-			data, eid, dirty = p.Data, p.EID, true
+		if d, e, dt, ok := h.l2[owner].drop(v.Addr); ok && dt {
+			data, eid, dirty = d, e, true
 		}
-		if p, ok := h.l1[owner].Invalidate(v.Addr); ok && p.Dirty {
-			data, eid, dirty = p.Data, p.EID, true
+		if d, e, dt, ok := h.l1[owner].drop(v.Addr); ok && dt {
+			data, eid, dirty = d, e, true
 		}
 	}
 	if dirty {
@@ -178,123 +197,287 @@ func (h *Hierarchy) evictLLCVictim(now uint64, v *Line) uint64 {
 }
 
 // installLLC inserts a line into the LLC, processing the victim cascade,
-// and returns (pointer to the installed line, stall-until).
-func (h *Hierarchy) installLLC(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool, owner int) (*Line, uint64) {
-	ln, victim := h.llc.Place(l, data, eid, dirty)
-	stall := now
-	if victim != nil {
-		stall = h.evictLLCVictim(now, victim)
+// and returns (plane index of the installed line, stall-until). Callers
+// have always just missed in the LLC, so there is no tag scan: the slot
+// comes straight from the state word (free way) or the LRU plane. The
+// pick and the install share one state-word load/store. LLC victims need
+// the full plane-crossing snapshot (owner, PrivDirty, payload) because
+// the drain may snoop private copies and hand data to the backend.
+func (h *Hierarchy) installLLC(now uint64, l mem.LineAddr, data mem.Word, eid mem.EpochID, dirty bool, owner int) (int, uint64) {
+	llc := h.llc
+	s := int(uint64(l) & llc.setMask)
+	base := s * llc.ways
+	w := llc.state[s]
+	var li int
+	var v Line
+	evict := false
+	if free := w & llc.fullMask; free != llc.fullMask {
+		li = base + bits.TrailingZeros64(^free)
+	} else {
+		slot := lruWay(llc.lru[base : base+llc.ways])
+		li = base + slot
+		llc.stats.Evictions++
+		llc.stats.DirtyEvictions += (w>>dShift | w>>pShift) >> uint(slot) & 1
+		bit := uint64(1) << uint(slot)
+		v = Line{
+			Addr:      mem.LineAddr(llc.tags[li] - 1),
+			EID:       llc.eids[li],
+			Data:      llc.data[li],
+			Valid:     true,
+			Dirty:     w&(bit<<dShift) != 0,
+			Owner:     llc.owner[li],
+			PrivDirty: w&(bit<<pShift) != 0,
+		}
+		evict = true
 	}
-	ln.Owner = int8(owner)
-	return ln, stall
+	llc.hint[s] = uint8(li - base)
+	llc.stamp++
+	llc.tags[li] = uint64(l) + 1
+	llc.lru[li] = llc.stamp
+	llc.data[li] = data
+	llc.eids[li] = eid
+	bit := uint64(1) << uint(li-base)
+	nw := (w | bit) &^ (bit<<dShift | bit<<pShift)
+	if dirty {
+		nw |= bit << dShift
+	}
+	llc.state[s] = nw
+	stall := now
+	if evict {
+		// The new line must be resident (owner still unset, matching the
+		// old Place-then-drain contract) before the drain runs: the
+		// backend call can recurse into a forced flush that scans the LLC.
+		llc.owner[li] = -1
+		stall = h.evictLLCVictim(now, &v)
+	}
+	llc.owner[li] = int8(owner)
+	return li, stall
 }
 
 // installL2 inserts into a core's L2, draining the victim into the LLC
-// (which holds it by inclusion) and back-invalidating the L1 copy.
-func (h *Hierarchy) installL2(now uint64, core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) uint64 {
-	_, victim := h.l2[core].Place(l, data, eid, false)
-	if victim == nil {
-		return now
+// (which holds it by inclusion) and back-invalidating the L1 copy. Only
+// the victim's tag and dirty bit are read up front; the payload planes
+// are touched just when the victim is actually dirty.
+func (h *Hierarchy) installL2(now uint64, core int, l mem.LineAddr, data mem.Word, eid mem.EpochID, lidx int32) (int, uint64) {
+	l2 := h.l2[core]
+	s2 := int(uint64(l) & l2.setMask)
+	base := s2 * l2.ways
+	w := l2.state[s2]
+	var i2 int
+	var vaddr mem.LineAddr
+	var vdata mem.Word
+	var veid mem.EpochID
+	var vlidx int32
+	vdirty := false
+	evict := false
+	if free := w & l2.fullMask; free != l2.fullMask {
+		i2 = base + bits.TrailingZeros64(^free)
+	} else {
+		slot := lruWay(l2.lru[base : base+l2.ways])
+		i2 = base + slot
+		l2.stats.Evictions++
+		l2.stats.DirtyEvictions += (w>>dShift | w>>pShift) >> uint(slot) & 1
+		vaddr = mem.LineAddr(l2.tags[i2] - 1)
+		vlidx = int32(l2.idx[i2] >> 32)
+		// Gathered unconditionally: the loads are cheaper than a
+		// data-dependent dirty branch that mispredicts on mixed phases.
+		vdirty = w>>(dShift+uint(slot))&1 != 0
+		vdata, veid = l2.data[i2], l2.eids[i2]
+		evict = true
 	}
-	vdata, veid, vdirty := victim.Data, victim.EID, victim.Dirty
-	if p, ok := h.l1[core].Invalidate(victim.Addr); ok && p.Dirty {
-		vdata, veid, vdirty = p.Data, p.EID, true
+	l2.hint[s2] = uint8(i2 - base)
+	l2.stamp++
+	l2.tags[i2] = uint64(l) + 1
+	l2.lru[i2] = l2.stamp
+	l2.data[i2] = data
+	l2.eids[i2] = eid
+	l2.idx[i2] = packIdx(lidx, -1)
+	b2 := uint64(1) << uint(i2-base)
+	l2.state[s2] = (w | b2) &^ (b2<<dShift | b2<<pShift)
+	if !evict {
+		return i2, now
 	}
-	lln := h.llc.Lookup(victim.Addr, false)
-	if lln == nil {
+	if d, e, dt, ok := h.l1[core].drop(vaddr); ok && dt {
+		vdata, veid, vdirty = d, e, true
+	}
+	llc := h.llc
+	li := int(vlidx)
+	if li < 0 || llc.tags[li] != uint64(vaddr)+1 {
+		li = llc.lookupIdx(vaddr, false)
+	}
+	if li < 0 {
 		// Inclusion violated only if the LLC raced it out; reinstall.
-		_, stall := h.installLLC(now, victim.Addr, vdata, veid, vdirty, -1)
-		return stall
+		_, stall := h.installLLC(now, vaddr, vdata, veid, vdirty, -1)
+		return i2, stall
 	}
+	s, bit := llc.setBitOf(vaddr, li)
 	if vdirty {
-		lln.Data, lln.EID, lln.Dirty = vdata, veid, true
+		llc.data[li], llc.eids[li] = vdata, veid
+		llc.state[s] |= bit << dShift
 	}
 	// All private copies of the victim are gone now.
-	lln.PrivDirty = false
-	lln.Owner = -1
-	return now
+	llc.state[s] &^= bit << pShift
+	llc.owner[li] = -1
+	return i2, now
 }
 
 // installL1 inserts into a core's L1, draining the victim into its L2,
-// and returns the resident L1 line.
-func (h *Hierarchy) installL1(core int, l mem.LineAddr, data mem.Word, eid mem.EpochID) *Line {
-	ln, victim := h.l1[core].Place(l, data, eid, false)
-	if victim == nil || !victim.Dirty {
-		return ln
-	}
-	l2ln := h.l2[core].Lookup(victim.Addr, false)
-	if l2ln == nil {
-		// L2 lost it (its own eviction back-invalidated L1 already, so
-		// this cannot normally happen); fold into the LLC directly.
-		if lln := h.llc.Lookup(victim.Addr, false); lln != nil {
-			lln.Data, lln.EID, lln.Dirty = victim.Data, victim.EID, true
-			lln.PrivDirty = false
+// and returns the resident L1 plane index. Clean victims — the common
+// case, every load miss makes one — are dropped without reading a single
+// victim plane: the dirty test is one bit of the state word the pick
+// already loaded.
+func (h *Hierarchy) installL1(core int, l mem.LineAddr, data mem.Word, eid mem.EpochID, lidx, l2i int32) int {
+	l1 := h.l1[core]
+	s1 := int(uint64(l) & l1.setMask)
+	base := s1 * l1.ways
+	w := l1.state[s1]
+	var i int
+	var vaddr mem.LineAddr
+	var vdata mem.Word
+	var veid mem.EpochID
+	var vl2i int32
+	drain := false
+	if free := w & l1.fullMask; free != l1.fullMask {
+		i = base + bits.TrailingZeros64(^free)
+	} else {
+		var slot int
+		if l1.ways == 4 {
+			slot = lruWay4(l1.lru, base)
+		} else {
+			slot = lruWay(l1.lru[base : base+l1.ways])
 		}
-		return ln
+		i = base + slot
+		l1.stats.Evictions++
+		l1.stats.DirtyEvictions += (w>>dShift | w>>pShift) >> uint(slot) & 1
+		if drain = w>>(dShift+uint(slot))&1 != 0; drain {
+			vaddr = mem.LineAddr(l1.tags[i] - 1)
+			vdata, veid = l1.data[i], l1.eids[i]
+			vl2i = int32(l1.idx[i])
+		}
 	}
-	l2ln.Data, l2ln.EID, l2ln.Dirty = victim.Data, victim.EID, true
-	return ln
+	l1.hint[s1] = uint8(i - base)
+	l1.stamp++
+	l1.tags[i] = uint64(l) + 1
+	l1.lru[i] = l1.stamp
+	l1.data[i] = data
+	l1.eids[i] = eid
+	// No owner store: private-cache owner planes are invariantly -1
+	// (only the LLC tracks owners, and New/Reset initialize to -1).
+	l1.idx[i] = packIdx(lidx, l2i)
+	b1 := uint64(1) << uint(i-base)
+	l1.state[s1] = (w | b1) &^ (b1<<dShift | b1<<pShift)
+	if drain {
+		h.drainL1Victim(core, vaddr, vdata, veid, vl2i)
+	}
+	return i
+}
+
+// drainL1Victim folds a dirty L1 victim into the core's L2 (which holds
+// it by inclusion) or, failing that, straight into the LLC. vl2i is the
+// victim's packed L2-index hint; like every index hint it is validated against
+// the tag and falls back to a scan.
+func (h *Hierarchy) drainL1Victim(core int, vaddr mem.LineAddr, vdata mem.Word, veid mem.EpochID, vl2i int32) {
+	l2 := h.l2[core]
+	i2 := int(vl2i)
+	if i2 < 0 || l2.tags[i2] != uint64(vaddr)+1 {
+		i2 = l2.lookupIdx(vaddr, false)
+	}
+	if i2 >= 0 {
+		s2, b2 := l2.setBitOf(vaddr, i2)
+		l2.data[i2], l2.eids[i2] = vdata, veid
+		l2.state[s2] |= b2 << dShift
+		return
+	}
+	// L2 lost it (its own eviction back-invalidated L1 already, so
+	// this cannot normally happen); fold into the LLC directly.
+	llc := h.llc
+	if li := llc.lookupIdx(vaddr, false); li >= 0 {
+		s, bit := llc.setBitOf(vaddr, li)
+		llc.data[li], llc.eids[li] = vdata, veid
+		llc.state[s] |= bit << dShift
+		llc.state[s] &^= bit << pShift
+	}
 }
 
 // fetch brings line l into core's L1 (and the levels above, maintaining
-// inclusion) and returns the L1 line, the LLC line if this path touched
-// it (nil on L1/L2 hits; possibly stale after the install cascades —
-// callers revalidate), the hierarchy latency in cycles, the memory
-// completion time (0 if no memory access), and a stall-until time from
-// any eviction backpressure.
-func (h *Hierarchy) fetch(now uint64, core int, l mem.LineAddr) (ln, lln *Line, lat uint64, memDone uint64, stall uint64) {
+// inclusion) and returns the L1 plane index, the hierarchy latency in
+// cycles, the memory completion time (0 if no memory access), and a
+// stall-until time from any eviction backpressure. The LLC way the line
+// lives in travels down the packed idx planes, so the store path never
+// rescans the LLC.
+func (h *Hierarchy) fetch(now uint64, core int, l mem.LineAddr) (l1i int, lat uint64, memDone uint64, stall uint64) {
 	stall = now
 	lat = h.cfg.L1.Latency
-	if ln = h.l1[core].Lookup(l, true); ln != nil {
-		return ln, nil, lat, 0, stall
+	l1 := h.l1[core]
+	// Hand-inlined L1 MRU-hint fast path: with the workloads' locality
+	// most accesses resolve on this single hinted-tag compare. Tags are
+	// unique within a set, so the hint can only find the same way the
+	// scan would; the fallback is the ordinary lookup plus a hint update.
+	s1 := int(uint64(l) & l1.setMask)
+	if i := s1*l1.ways + int(l1.hint[s1]); l1.tags[i] == uint64(l)+1 {
+		l1.stamp++
+		l1.lru[i] = l1.stamp
+		l1.stats.Hits++
+		return i, lat, 0, stall
+	}
+	if l1i = l1.lookupIdx(l, true); l1i >= 0 {
+		l1.hint[s1] = uint8(l1i - s1*l1.ways)
+		return l1i, lat, 0, stall
 	}
 	lat += h.cfg.L2.Latency
-	if l2ln := h.l2[core].Lookup(l, true); l2ln != nil {
-		ln = h.installL1(core, l, l2ln.Data, l2ln.EID)
-		return ln, nil, lat, 0, stall
+	l2 := h.l2[core]
+	// No hint fast path here: the L2 probe only runs after an L1 miss,
+	// where set locality is poor enough that the extra hinted compare
+	// measured as a net loss (DESIGN.md §8 negative results).
+	if i2 := l2.lookupIdx(l, true); i2 >= 0 {
+		l1i = h.installL1(core, l, l2.data[i2], l2.eids[i2], int32(l2.idx[i2]>>32), int32(i2))
+		return l1i, lat, 0, stall
 	}
 	lat += h.cfg.LLC.Latency
-	if lln = h.llc.Lookup(l, true); lln != nil {
-		data, eid, _ := lln.Data, lln.EID, lln.Dirty
-		if int(lln.Owner) != core && lln.Owner >= 0 {
+	llc := h.llc
+	if llci := llc.lookupIdx(l, true); llci >= 0 {
+		s, bit := llc.setBitOf(l, llci)
+		data, eid := llc.data[llci], llc.eids[llci]
+		if own := llc.owner[llci]; own >= 0 && int(own) != core {
 			// Another core holds it privately: migrate (snoop + inval).
 			var dirty bool
-			data, eid, dirty = h.snoopPrivate(lln, true)
+			data, eid, dirty = h.snoopPrivate(llci, s, bit, true)
 			if dirty {
-				lln.Data, lln.EID, lln.Dirty = data, eid, true
+				llc.data[llci], llc.eids[llci] = data, eid
+				llc.state[s] |= bit << dShift
 			}
-		} else if lln.PrivDirty {
+		} else if llc.state[s]&(bit<<pShift) != 0 {
 			// Our own private copies were supposedly dirty but L1/L2
 			// missed: stale marker; resync from privates if any remain.
-			data, eid, _ = h.snoopPrivate(lln, false)
+			data, eid, _ = h.snoopPrivate(llci, s, bit, false)
 		}
-		lln.Owner = int8(core)
-		stall2 := h.installL2(now, core, l, data, eid)
+		llc.owner[llci] = int8(core)
+		i2, stall2 := h.installL2(now, core, l, data, eid, int32(llci))
 		if stall2 > stall {
 			stall = stall2
 		}
-		ln = h.installL1(core, l, data, eid)
-		return ln, lln, lat, 0, stall
+		l1i = h.installL1(core, l, data, eid, int32(llci), int32(i2))
+		return l1i, lat, 0, stall
 	}
 	// Full miss: fetch from the persistence backend.
 	data, done := h.backend.Fill(now+lat, l)
 	// Paper §IV-A: a line loaded from memory has no EID associated.
-	lln, stallA := h.installLLC(now, l, data, mem.NoEpoch, false, core)
-	stallB := h.installL2(now, core, l, data, mem.NoEpoch)
-	ln = h.installL1(core, l, data, mem.NoEpoch)
+	llci, stallA := h.installLLC(now, l, data, mem.NoEpoch, false, core)
+	i2, stallB := h.installL2(now, core, l, data, mem.NoEpoch, int32(llci))
+	l1i = h.installL1(core, l, data, mem.NoEpoch, int32(llci), int32(i2))
 	if stallA > stall {
 		stall = stallA
 	}
 	if stallB > stall {
 		stall = stallB
 	}
-	return ln, lln, lat, done, stall
+	return l1i, lat, done, stall
 }
 
 // Load performs a blocking read by core of line l at time now. It returns
 // the data and the time the core may continue.
 func (h *Hierarchy) Load(now uint64, core int, l mem.LineAddr) (mem.Word, uint64) {
-	ln, _, lat, memDone, stall := h.fetch(now, core, l)
+	l1i, lat, memDone, stall := h.fetch(now, core, l)
 	done := now + lat
 	if memDone > done {
 		done = memDone
@@ -302,7 +485,7 @@ func (h *Hierarchy) Load(now uint64, core int, l mem.LineAddr) (mem.Word, uint64
 	if stall > done {
 		done = stall
 	}
-	return ln.Data, done
+	return h.l1[core].data[l1i], done
 }
 
 // Store performs a store by core to line l at time now. Stores are
@@ -310,32 +493,42 @@ func (h *Hierarchy) Load(now uint64, core int, l mem.LineAddr) (mem.Word, uint64
 // latency; the returned time reflects only backpressure stalls (from
 // evictions, observer-side log flushes, or a full memory queue).
 func (h *Hierarchy) Store(now uint64, core int, l mem.LineAddr, data mem.Word) uint64 {
-	ln, lln, _, _, stall := h.fetch(now, core, l)
-	// fetch's LLC pointer can be stale (the install cascade may have
-	// evicted or replaced the way) or absent on private-cache hits;
-	// revalidate before trusting it.
-	if lln == nil || !lln.Valid || lln.Addr != l {
-		lln = h.llc.Lookup(l, false)
+	l1i, _, _, stall := h.fetch(now, core, l)
+	// The L1 line remembers its LLC way. The hint can be stale (the
+	// install cascade may have evicted or replaced the way since it was
+	// recorded), so validate the tag and fall back to a scan.
+	llc := h.llc
+	llci := int(int32(h.l1[core].idx[l1i] >> 32))
+	if llci < 0 || llc.tags[llci] != uint64(l)+1 {
+		llci = llc.lookupIdx(l, false)
 	}
-	wasModified := ln.Dirty
-	if lln != nil && (lln.Dirty || lln.PrivDirty) {
-		wasModified = true
+	l1 := h.l1[core]
+	s1, b1 := l1.setBitOf(l, l1i)
+	wasModified := l1.state[s1]&(b1<<dShift) != 0
+	var ls int
+	var lbit uint64
+	if llci >= 0 {
+		ls, lbit = llc.setBitOf(l, llci)
+		if llc.state[ls]&(lbit<<dShift|lbit<<pShift) != 0 {
+			wasModified = true
+		}
 	}
-	newEID := ln.EID
+	newEID := l1.eids[l1i]
 	if h.observer != nil {
 		var obsStall uint64
-		newEID, obsStall = h.observer.OnStore(now, l, ln.Data, ln.EID, wasModified)
+		newEID, obsStall = h.observer.OnStore(now, l, l1.data[l1i], l1.eids[l1i], wasModified)
 		if obsStall > stall {
 			stall = obsStall
 		}
 	}
-	ln.Data, ln.EID, ln.Dirty = data, newEID, true
-	if lln != nil {
+	l1.data[l1i], l1.eids[l1i] = data, newEID
+	l1.state[s1] |= b1 << dShift
+	if llci >= 0 {
 		// EID forwarding to the LLC (paper Fig. 8): the LLC learns the
 		// line is dirty in a private cache and at which epoch.
-		lln.EID = newEID
-		lln.PrivDirty = true
-		lln.Owner = int8(core)
+		llc.eids[llci] = newEID
+		llc.state[ls] |= lbit << pShift
+		llc.owner[llci] = int8(core)
 	}
 	return stall
 }
@@ -346,24 +539,33 @@ func (h *Hierarchy) Store(now uint64, core int, l mem.LineAddr, data mem.Word) u
 // The freshest private data is snooped, exactly as ACS must ("if there
 // are dirty private copies, they would have to be snooped and written
 // back").
+//
+// The walk is the packed-plane ACS scan: one state-word test per set
+// skips clean sets outright, and TrailingZeros64 jumps straight to the
+// dirty ways; only matching ways touch the EID/data planes.
 func (h *Hierarchy) FlushDirty(pred func(mem.LineAddr, mem.EpochID) bool) []DirtyLine {
 	var out []DirtyLine
-	h.llc.Scan(func(ln *Line) bool {
-		if !ln.Dirty && !ln.PrivDirty {
-			return true
+	llc := h.llc
+	for s := 0; s < llc.sets; s++ {
+		base := s * llc.ways
+		sw := llc.state[s]
+		for w := sw & (sw>>dShift | sw>>pShift) & llc.fullMask; w != 0; w &= w - 1 {
+			j := bits.TrailingZeros64(w)
+			li := base + j
+			addr := mem.LineAddr(llc.tags[li] - 1)
+			if pred != nil && !pred(addr, llc.eids[li]) {
+				continue
+			}
+			bit := uint64(1) << uint(j)
+			data, eid, dirty := h.snoopPrivate(li, s, bit, false)
+			if !dirty {
+				continue
+			}
+			llc.data[li], llc.eids[li] = data, eid
+			llc.state[s] &^= bit << dShift
+			out = append(out, DirtyLine{Addr: addr, Data: data, EID: eid})
 		}
-		if pred != nil && !pred(ln.Addr, ln.EID) {
-			return true
-		}
-		data, eid, dirty := h.snoopPrivate(ln, false)
-		if !dirty {
-			return true
-		}
-		ln.Data, ln.EID = data, eid
-		ln.Dirty = false
-		out = append(out, DirtyLine{Addr: ln.Addr, Data: data, EID: eid})
-		return true
-	})
+	}
 	return out
 }
 
@@ -376,9 +578,9 @@ func (h *Hierarchy) CheckInclusion() error {
 	for core := range h.l1 {
 		var err error
 		check := func(level string, c *Cache) {
-			c.Scan(func(ln *Line) bool {
-				if h.llc.Lookup(ln.Addr, false) == nil {
-					err = fmt.Errorf("inclusion violated: core %d %s holds %v not in LLC", core, level, ln.Addr)
+			c.Scan(func(ln LineRef) bool {
+				if h.llc.lookupIdx(ln.Addr(), false) < 0 {
+					err = fmt.Errorf("inclusion violated: core %d %s holds %v not in LLC", core, level, ln.Addr())
 					return false
 				}
 				return true

@@ -66,11 +66,11 @@ func TestLoadMissFillsAllLevels(t *testing.T) {
 	}
 	for _, c := range []*Cache{h.L1(0), h.L2(0), h.LLC()} {
 		ln := c.Lookup(7, false)
-		if ln == nil || ln.Data != 77 {
+		if !ln.Ok() || ln.Data() != 77 {
 			t.Fatalf("%s missing line after fill", c.Config().Name)
 		}
-		if ln.EID != mem.NoEpoch {
-			t.Fatalf("%s: fresh fill EID = %v, want NoEpoch", c.Config().Name, ln.EID)
+		if ln.EID() != mem.NoEpoch {
+			t.Fatalf("%s: fresh fill EID = %v, want NoEpoch", c.Config().Name, ln.EID())
 		}
 	}
 	// Second load is an L1 hit: 1 cycle.
@@ -114,12 +114,12 @@ func TestStoreObservationAndEIDForwarding(t *testing.T) {
 		t.Fatal("first store to a clean line reported wasModified")
 	}
 	l1 := h.L1(0).Lookup(9, false)
-	if l1 == nil || !l1.Dirty || l1.EID != 1 || l1.Data != 91 {
-		t.Fatalf("L1 line after store = %+v", l1)
+	if !l1.Ok() || !l1.Dirty() || l1.EID() != 1 || l1.Data() != 91 {
+		t.Fatalf("L1 line after store = %+v", l1.Snapshot())
 	}
 	lln := h.LLC().Lookup(9, false)
-	if lln == nil || !lln.PrivDirty || lln.EID != 1 {
-		t.Fatalf("LLC line after store = %+v (EID forwarding broken)", lln)
+	if !lln.Ok() || !lln.PrivDirty() || lln.EID() != 1 {
+		t.Fatalf("LLC line after store = %+v (EID forwarding broken)", lln.Snapshot())
 	}
 
 	// Same-epoch second store: observer still sees it, wasModified true.
@@ -141,7 +141,7 @@ func TestCrossEpochStoreSeesOldEID(t *testing.T) {
 	if last.EID != 1 || last.Data != 50 {
 		t.Fatalf("cross-epoch observation = %+v", last)
 	}
-	if got := h.LLC().Lookup(5, false).EID; got != 2 {
+	if got := h.LLC().Lookup(5, false).EID(); got != 2 {
 		t.Fatalf("LLC EID = %v, want 2", got)
 	}
 }
@@ -167,7 +167,7 @@ func TestDirtyEvictionReachesBackendWithFreshData(t *testing.T) {
 		t.Fatalf("eviction record missing: %+v", b.evictions)
 	}
 	// Private copies must be back-invalidated (inclusion).
-	if h.L1(0).Lookup(0, false) != nil || h.L2(0).Lookup(0, false) != nil {
+	if h.L1(0).Lookup(0, false).Ok() || h.L2(0).Lookup(0, false).Ok() {
 		t.Fatal("LLC eviction left private copies behind")
 	}
 }
@@ -183,10 +183,10 @@ func TestFlushDirtySnoopsPrivateData(t *testing.T) {
 	if h.DirtyCount() != 0 {
 		t.Fatal("dirty lines remain after flush")
 	}
-	if h.L1(0).Lookup(3, false) == nil {
+	if !h.L1(0).Lookup(3, false).Ok() {
 		t.Fatal("flush invalidated the line; it must only clean it")
 	}
-	if h.L1(0).Lookup(3, false).Dirty {
+	if h.L1(0).Lookup(3, false).Dirty() {
 		t.Fatal("private copy still dirty after flush")
 	}
 	// Second flush is empty.
@@ -283,10 +283,10 @@ func TestFlushPropagatesFreshDataToAllLevels(t *testing.T) {
 	h.FlushDirty(nil)
 	for _, c := range []*Cache{h.L1(0), h.L2(0), h.LLC()} {
 		ln := c.Lookup(6, false)
-		if ln == nil || ln.Data != 66 {
-			t.Fatalf("%s holds stale data %+v after flush", c.Config().Name, ln)
+		if !ln.Ok() || ln.Data() != 66 {
+			t.Fatalf("%s holds stale data %+v after flush", c.Config().Name, ln.Snapshot())
 		}
-		if ln.Dirty {
+		if ln.Dirty() {
 			t.Fatalf("%s still dirty after flush", c.Config().Name)
 		}
 	}
@@ -323,7 +323,7 @@ func TestHierarchyAccessorsAndReset(t *testing.T) {
 	}
 	h.Store(0, 0, 5, 55)
 	h.Reset()
-	if h.DirtyCount() != 0 || h.LLC().Lookup(5, false) != nil {
+	if h.DirtyCount() != 0 || h.LLC().Lookup(5, false).Ok() {
 		t.Fatal("Reset left state")
 	}
 	// Late wiring (schemes and hierarchies reference each other).

@@ -30,7 +30,7 @@ func TestCacheAgainstReferenceModel(t *testing.T) {
 			switch r.Intn(3) {
 			case 0: // insert
 				dirty := r.Intn(2) == 0
-				victim, evicted := c.Insert(l, mem.Word(i), 0, dirty)
+				victim, evicted := place(c, l, mem.Word(i), 0, dirty)
 				if rl, ok := ref[l]; ok {
 					// In-place update in the model; dirty is sticky.
 					rl.data = mem.Word(i)
@@ -68,17 +68,17 @@ func TestCacheAgainstReferenceModel(t *testing.T) {
 					return false
 				}
 				ref[l] = refLine{data: mem.Word(i), dirty: dirty, stamp: clock}
-				if ln := c.Lookup(l, false); ln == nil || ln.Data != mem.Word(i) {
+				if ln := c.Lookup(l, false); !ln.Ok() || ln.Data() != mem.Word(i) {
 					return false
 				}
 			case 1: // lookup (refreshes LRU)
 				ln := c.Lookup(l, true)
 				rl, ok := ref[l]
-				if (ln != nil) != ok {
+				if ln.Ok() != ok {
 					return false
 				}
 				if ok {
-					if ln.Data != rl.data {
+					if ln.Data() != rl.data {
 						return false
 					}
 					rl.stamp = clock
@@ -98,11 +98,11 @@ func TestCacheAgainstReferenceModel(t *testing.T) {
 		}
 		// Final sweep: contents agree exactly.
 		count := 0
-		c.Scan(func(ln *Line) bool {
+		c.Scan(func(ln LineRef) bool {
 			count++
-			rl, ok := ref[ln.Addr]
-			if !ok || rl.data != ln.Data {
-				t.Logf("line %v: cache=%v ref=%v ok=%v", ln.Addr, ln.Data, rl.data, ok)
+			rl, ok := ref[ln.Addr()]
+			if !ok || rl.data != ln.Data() {
+				t.Logf("line %v: cache=%v ref=%v ok=%v", ln.Addr(), ln.Data(), rl.data, ok)
 				count = -1 << 30
 				return false
 			}

@@ -136,12 +136,12 @@ func TestACSWritesBackOnlyTargetEpochs(t *testing.T) {
 	r.boundary()    // commits 2, ACS target 1: flushes line 1 only
 	llc := r.h.LLC()
 	ln1 := llc.Lookup(1, false)
-	if ln1 == nil || ln1.Dirty || ln1.PrivDirty {
-		t.Fatalf("epoch-1 line not cleaned by ACS: %+v", ln1)
+	if !ln1.Ok() || ln1.Dirty() || ln1.PrivDirty() {
+		t.Fatalf("epoch-1 line not cleaned by ACS: %+v", ln1.Snapshot())
 	}
 	ln2 := llc.Lookup(2, false)
-	if ln2 == nil || !(ln2.Dirty || ln2.PrivDirty) {
-		t.Fatalf("epoch-2 line wrongly flushed: %+v", ln2)
+	if !ln2.Ok() || !(ln2.Dirty() || ln2.PrivDirty()) {
+		t.Fatalf("epoch-2 line wrongly flushed: %+v", ln2.Snapshot())
 	}
 	r.settleAll()
 	if r.p.Cur.Read(1) != 100 {

@@ -116,6 +116,12 @@ type RunKey struct {
 	BufEntries int
 	TraceCap   int
 	TraceMask  obs.Mask
+	// Sharded records which engine ran the cell. The shard WIDTH is
+	// deliberately not part of the key: sharded results are byte-identical
+	// at any worker count, so cells memoize across widths — only the
+	// engine choice (lane decomposition vs legacy shared-resource run)
+	// changes multicore results.
+	Sharded bool
 }
 
 // Runner executes and memoizes simulations at one scale. Run and RunAll
@@ -140,12 +146,22 @@ type Runner struct {
 	// that), so binaries that want timed progress inject time.Now here.
 	// With a nil Clock, elapsed times report as zero.
 	Clock func() time.Time
+	// Shards selects the intra-run engine: 0 (default) runs every cell on
+	// the legacy serial engine — the semantics the committed goldens pin —
+	// while N > 0 runs cells through sim's sharded lane engine with N
+	// workers. The engine choice is part of the memo key; the width is
+	// not (sharded output is byte-identical at any width), which lets
+	// RunAll trade cell-level parallelism for intra-run shards: when a
+	// batch has fewer cells than pool workers, the spare workers widen
+	// each cell instead of idling.
+	Shards int
 
-	mu       sync.Mutex
-	memo     map[RunKey]*flight
-	total    int // cells submitted to the pool (for progress lines)
-	done     int // cells completed
-	inflight int // cells currently simulating
+	mu         sync.Mutex
+	memo       map[RunKey]*flight
+	total      int // cells submitted to the pool (for progress lines)
+	done       int // cells completed
+	inflight   int // cells currently simulating
+	shardBoost int // widened shard width when cells < workers (RunAll)
 }
 
 // flight is one single-flight memo cell: the first goroutine to claim a
@@ -247,6 +263,9 @@ func (r *Runner) buildConfig(scheme string, benches []string, opts ...Opt) (sim.
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if r.Shards > 0 {
+		cfg.Shards = r.Shards
+	}
 	return cfg, nil
 }
 
@@ -263,6 +282,7 @@ func keyFor(scheme string, benches []string, cfg *sim.Config) RunKey {
 		BufEntries: cfg.PiCL.BufferEntries,
 		TraceCap:   cfg.TraceCap,
 		TraceMask:  cfg.TraceMask,
+		Sharded:    cfg.Shards > 0,
 	}
 	if cfg.NVM != nil {
 		key.NVMName = cfg.NVM.Name
@@ -300,12 +320,16 @@ func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result,
 	if r.Clock != nil {
 		t0 = r.Clock()
 	}
-	m, err := sim.New(cfg)
-	if err != nil {
-		f.err = err
-	} else {
-		f.res = m.Run()
+	if cfg.Shards > 0 {
+		// Widen the cell if RunAll found spare pool capacity; the width
+		// cannot change the bytes, only the wall clock.
+		r.mu.Lock()
+		if r.shardBoost > cfg.Shards {
+			cfg.Shards = r.shardBoost
+		}
+		r.mu.Unlock()
 	}
+	f.res, f.err = sim.Execute(cfg)
 	close(f.ready)
 	var elapsed time.Duration
 	if r.Clock != nil {
@@ -372,6 +396,17 @@ func (r *Runner) RunAll(reqs []Req) ([]*sim.Result, error) {
 
 	workers := r.jobs()
 	if workers > len(reqs) {
+		// Fewer cells than workers: with sharding enabled, spend the
+		// spare width inside each cell instead of idling it. The boost is
+		// a scheduling hint only — sharded bytes are width-invariant.
+		if r.Shards > 0 && len(reqs) > 0 {
+			boost := workers / len(reqs)
+			r.mu.Lock()
+			if boost > r.shardBoost {
+				r.shardBoost = boost
+			}
+			r.mu.Unlock()
+		}
 		workers = len(reqs)
 	}
 	for w := 0; w < workers; w++ {

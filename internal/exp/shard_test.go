@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestShardedFig9MatchesCommittedGoldens is the harness-level half of
+// the shard-equivalence gate: every Fig. 9 cell is single-core, a
+// single-core sharded run is one lane — bit-equivalent to the legacy
+// engine — so the rendered table must hash to the SAME committed golden
+// digest at every -shards width. Under the race detector the full
+// miniature scale costs minutes, so a cheap cross-width equality check
+// at the test scale substitutes (the committed-digest form runs in the
+// default suite and the coverage gate).
+func TestShardedFig9MatchesCommittedGoldens(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		var want string
+		for _, w := range []int{1, 4} {
+			r := NewRunner(testScale())
+			r.Shards = w
+			tb, err := r.Fig9(testBenches)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sha(tb.String()); want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("Fig9 digest differs between shard widths at test scale")
+			}
+		}
+		return
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		r := NewRunner(Scaled())
+		r.Shards = w
+		tb, err := r.Fig9(goldenShortSubset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sha(tb.String()); got != goldenFig9ShortSHA {
+			t.Errorf("sharded Fig9 (-shards %d) digest %s, want committed legacy %s\n%s",
+				w, got, goldenFig9ShortSHA, tb.String())
+		}
+	}
+}
+
+// TestShardedFig10WidthInvariant pins the multicore half: the 8-core
+// mix table under the sharded engine renders byte-identically at every
+// shard width and every -j (the lane decomposition depends only on the
+// configuration). Note the sharded multicore SEMANTICS differ from the
+// legacy shared-LLC engine — these digests gate the sharded engine
+// against itself, exactly like the ISSUE's -shards 1/2/4/8 matrix.
+func TestShardedFig10WidthInvariant(t *testing.T) {
+	render := func(shards, jobs int) string {
+		r := NewRunner(testScale())
+		r.Shards = shards
+		r.Jobs = jobs
+		tb, err := r.Fig10()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+	want := render(1, 1)
+	for _, cfg := range [][2]int{{2, 1}, {4, 4}, {8, 2}} {
+		if got := render(cfg[0], cfg[1]); got != want {
+			t.Fatalf("Fig10 differs at -shards %d -j %d:\n%s\nvs -shards 1 -j 1:\n%s",
+				cfg[0], cfg[1], got, want)
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 // of experiment bug.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall clocks, math/rand, and order-sensitive map iteration in the simulation and stats packages",
+	Doc:  "forbid wall clocks, math/rand, order-sensitive map iteration, and scheduler-ordered shared appends in the simulation and stats packages",
 	Run:  runDeterminism,
 }
 
@@ -77,7 +77,60 @@ func runDeterminism(pass *Pass) {
 			return true
 		})
 		checkMapRanges(pass, f)
+		checkGoroutineAppends(pass, f)
 	}
+}
+
+// checkGoroutineAppends flags `x = append(x, ...)` inside a spawned
+// goroutine when x is captured from the enclosing scope: concurrent
+// appends interleave in scheduler order (and race), so the resulting
+// element order differs run to run — the shard/merge bug class. The
+// engine's worker pools (sim's sharded lanes, exp.RunAll) write results
+// into per-index slots instead and merge after the barrier; appends to
+// variables declared inside the goroutine remain free.
+func checkGoroutineAppends(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				for _, lhs := range as.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.ObjectOf(id)
+					if obj == nil || obj.Pos() == token.NoPos {
+						continue
+					}
+					if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+						pass.Reportf(as.Pos(),
+							"append to captured %q inside a goroutine is scheduler-ordered (and a data race); write into a per-index slot and merge deterministically after the barrier", id.Name)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
 }
 
 // checkMapRanges flags `for k, v := range m` over maps unless the loop is

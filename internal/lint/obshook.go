@@ -66,7 +66,11 @@ func runObsHook(pass *Pass) {
 // (c.stats.DRAMHits++, c.stats.Bytes[op] += n). Whole-bag replacement
 // (c.stats = Stats{}) is a reset, not an event count, and the selector
 // check excludes it naturally: its assignment target is the Controller
-// field, not a field of the Stats bag.
+// field, not a field of the Stats bag. Merge paths are exempt too: an
+// assignment whose right-hand side itself reads an nvm.Stats field
+// (s.BusyCycles += other.BusyCycles) folds counts that were already
+// traced by whichever controller produced them — the sharded engine
+// aggregates its per-lane bags this way — so no new emit is owed.
 func statsUpdatePos(pass *Pass, body *ast.BlockStmt) token.Pos {
 	pos := token.NoPos
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -89,6 +93,11 @@ func statsUpdatePos(pass *Pass, body *ast.BlockStmt) token.Pos {
 			if n.Tok == token.DEFINE {
 				return true
 			}
+			for _, r := range n.Rhs {
+				if readsNVMStatsField(pass, r) {
+					return true // merge/fold of already-traced counts
+				}
+			}
 			for _, l := range n.Lhs {
 				if isNVMStatsField(pass, l) {
 					pos = n.Pos()
@@ -99,6 +108,22 @@ func statsUpdatePos(pass *Pass, body *ast.BlockStmt) token.Pos {
 		return true
 	})
 	return pos
+}
+
+// readsNVMStatsField reports whether any subexpression of e reads a
+// field of an nvm.Stats value — the signature of a merge path.
+func readsNVMStatsField(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && isNVMStatsField(pass, ex) {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // isNVMStatsField reports whether e selects (possibly through an index)

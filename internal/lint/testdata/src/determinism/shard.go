@@ -1,0 +1,57 @@
+// Shard/merge patterns: worker pools must not accumulate results via
+// scheduler-ordered appends to captured slices; per-index slots and
+// post-barrier merges are the allowed shapes.
+package dtest
+
+import "sync"
+
+func goroutineSharedAppend(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			out = append(out, it*2) // scheduler-ordered (and racy)
+		}(it)
+	}
+	wg.Wait()
+	return out
+}
+
+func perIndexSlots(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			out[i] = it * 2 // distinct slot per goroutine: deterministic
+		}(i, it)
+	}
+	wg.Wait()
+	return out
+}
+
+func goroutineLocalAppend(items []int, sink chan<- []int) {
+	go func() {
+		var local []int // declared inside the goroutine: free to append
+		for _, it := range items {
+			local = append(local, it)
+		}
+		sink <- local
+	}()
+}
+
+func suppressedSharedAppend(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//lint:ignore determinism single goroutine owns the slice; the pool is width 1
+		out = append(out, items...)
+	}()
+	wg.Wait()
+	return out
+}

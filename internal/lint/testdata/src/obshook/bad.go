@@ -54,6 +54,14 @@ func resetIsNotACount(e *engine) {
 	e.stats = nvm.Stats{}
 }
 
+func mergeIsNotACount(e *engine, other nvm.Stats) {
+	// Folding another bag's counts is aggregation of events that were
+	// already traced at their source (the sharded engine merges per-lane
+	// controllers this way); no new emit is owed.
+	e.stats.BusyCycles += other.BusyCycles
+	e.stats.DRAMHits += other.DRAMHits
+}
+
 func readsAreFree(e *engine) uint64 {
 	return e.c.Get("acs_runs") + e.stats.DRAMHits
 }

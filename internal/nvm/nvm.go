@@ -231,6 +231,21 @@ func (s Stats) Ops(cat Category) uint64 {
 	return total
 }
 
+// Merge folds another bag into s. The sharded engine sums its per-lane
+// controllers' bags with it; every count in other was already traced by
+// the lane that produced it, so merging is pure aggregation (addition
+// commutes — the merged bag is lane-order independent).
+func (s *Stats) Merge(other Stats) {
+	for op := Op(0); op < numOps; op++ {
+		s.Count[op] += other.Count[op]
+		s.Bytes[op] += other.Bytes[op]
+	}
+	s.BusyCycles += other.BusyCycles
+	s.StallEvents += other.StallEvents
+	s.DRAMHits += other.DRAMHits
+	s.RowActivations += other.RowActivations
+}
+
 // TotalBytes returns bytes moved for a category.
 func (s Stats) TotalBytes(cat Category) uint64 {
 	var total uint64

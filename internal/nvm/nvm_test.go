@@ -146,6 +146,41 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+func TestStatsMerge(t *testing.T) {
+	// Merge must be plain commutative addition across every field: the
+	// sharded engine folds per-lane controller bags in lane order, and
+	// the merged bag may not depend on that order.
+	mk := func(seed uint64) Stats {
+		var s Stats
+		for op := Op(0); op < numOps; op++ {
+			s.Count[op] = seed + uint64(op)
+			s.Bytes[op] = 64 * (seed + uint64(op))
+		}
+		s.BusyCycles = 1000 * seed
+		s.StallEvents = seed
+		s.DRAMHits = 2 * seed
+		s.RowActivations = 3 * seed
+		return s
+	}
+	a, b := mk(5), mk(11)
+	ab, ba := a, b
+	ab.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Fatalf("Merge is not commutative:\n%+v\n%+v", ab, ba)
+	}
+	for op := Op(0); op < numOps; op++ {
+		if ab.Count[op] != a.Count[op]+b.Count[op] || ab.Bytes[op] != a.Bytes[op]+b.Bytes[op] {
+			t.Fatalf("op %v: merged count/bytes = %d/%d, want %d/%d",
+				op, ab.Count[op], ab.Bytes[op], a.Count[op]+b.Count[op], a.Bytes[op]+b.Bytes[op])
+		}
+	}
+	if ab.BusyCycles != a.BusyCycles+b.BusyCycles || ab.StallEvents != a.StallEvents+b.StallEvents ||
+		ab.DRAMHits != a.DRAMHits+b.DRAMHits || ab.RowActivations != a.RowActivations+b.RowActivations {
+		t.Fatalf("scalar fields not summed: %+v", ab)
+	}
+}
+
 func TestScaledWriteConfig(t *testing.T) {
 	base := DefaultConfig()
 	x2 := ScaledWriteConfig(20)

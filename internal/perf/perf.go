@@ -1,12 +1,13 @@
 // Package perf holds the substrate microbenchmark bodies shared by the
 // `go test -bench` harness (bench_test.go wrappers) and cmd/picl-perf,
-// the standalone runner that records them into BENCH_PR4.json and gates
-// CI on regressions. Keeping one copy of each body guarantees the number
-// a developer sees from `go test -bench` is the number the comparator
-// gates on.
+// the standalone runner that records them into the committed baseline
+// report (BENCH_PR9.json) and gates CI on regressions. Keeping one copy
+// of each body guarantees the number a developer sees from `go test
+// -bench` is the number the comparator gates on.
 package perf
 
 import (
+	"runtime"
 	"testing"
 
 	"picl/internal/bloom"
@@ -43,7 +44,7 @@ func Calibrate(b *testing.B) {
 func CacheLookupHit(b *testing.B) {
 	c := cache.New(cache.Config{Name: "b", Size: 2 << 20, Ways: 8, Latency: 1})
 	for i := 0; i < 1024; i++ {
-		c.Insert(mem.LineAddr(i), mem.Word(i), 0, false)
+		c.Place(mem.LineAddr(i), mem.Word(i), 0, false)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -51,13 +52,14 @@ func CacheLookupHit(b *testing.B) {
 	}
 }
 
-// CacheInsertEvict measures Place on a full cache: one combined
-// hit/free/LRU scan plus the victim hand-off through the scratch slot.
+// CacheInsertEvict measures Place on a full cache: the tag scan, the
+// LRU victim scan over the stamp plane, and the victim hand-off through
+// the scratch slot.
 func CacheInsertEvict(b *testing.B) {
 	c := cache.New(cache.Config{Name: "b", Size: 64 << 10, Ways: 8, Latency: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Insert(mem.LineAddr(i), mem.Word(i), 0, true)
+		c.Place(mem.LineAddr(i), mem.Word(i), 0, true)
 	}
 }
 
@@ -170,7 +172,7 @@ func ImageSnapshotClone(b *testing.B) {
 
 // SimThroughputPiCL measures end-to-end simulator speed (simulated
 // instructions per host second) on a single-core PiCL run of the scaled
-// gcc profile — the headline number BENCH_PR4.json gates on.
+// gcc profile — the headline number the committed baseline gates on.
 func SimThroughputPiCL(b *testing.B) {
 	g := trace.NewSynthetic(trace.MustProfile("gcc").Scale(1.0/64), 0, 1)
 	h := exp.Scaled().Hierarchy(1)
@@ -185,4 +187,37 @@ func SimThroughputPiCL(b *testing.B) {
 	target := uint64(b.N)
 	m.RunUntil(func(_ uint64, instr uint64) bool { return instr >= target })
 	b.ReportMetric(float64(b.N), "instr")
+}
+
+// SimThroughputPiCLSharded measures end-to-end speed of the sharded
+// engine: a 4-core scaled gcc mix decomposed into address-partitioned
+// lanes running on up to NumCPU goroutines (see DESIGN.md §8.7). On a
+// multicore host this is the lane-parallelism × SoA end-to-end number;
+// on a single-CPU host it degenerates to one lane's serial cost and
+// only documents the engine's overhead. b.N counts total simulated
+// instructions across all lanes.
+func SimThroughputPiCLSharded(b *testing.B) {
+	const cores = 4
+	gens := make([]trace.Generator, cores)
+	for i := range gens {
+		gens[i] = trace.NewSynthetic(trace.MustProfile("gcc").Scale(1.0/64),
+			mem.LineAddr(uint64(i+1)<<34), uint64(13+i))
+	}
+	h := exp.Scaled().Hierarchy(cores)
+	shards := runtime.NumCPU()
+	if shards > cores {
+		shards = cores
+	}
+	cfg := sim.Config{
+		Scheme: "picl", Workloads: gens,
+		Hierarchy: &h, EpochInstr: 469_000,
+		InstrPerCore: (uint64(b.N) + cores - 1) / cores,
+		Shards:       shards,
+	}
+	b.ResetTimer()
+	res, err := sim.Execute(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Instructions), "instr")
 }

@@ -32,7 +32,8 @@ func TestEIDTagRangeInvariant(t *testing.T) {
 			if sys-persisted >= mem.TagMask {
 				t.Fatalf("gap=%d: live window %d..%d exceeds 4-bit tag space", gap, persisted, sys)
 			}
-			m.Hierarchy().LLC().Scan(func(ln *cache.Line) bool {
+			m.Hierarchy().LLC().Scan(func(ref cache.LineRef) bool {
+				ln := ref.Snapshot()
 				if ln.EID == mem.NoEpoch {
 					return true
 				}

@@ -1,0 +1,263 @@
+// Sharded single-run parallelism. The evaluation's multicore runs are
+// multiprogrammed: every core executes its own benchmark over a
+// disjoint address region (internal/exp places them 1 TiB apart), so
+// the system state partitions cleanly by address — each core's lines,
+// its slice of the LLC, its slice of the NVM image, and its epoch log
+// traffic never touch another core's. The sharded engine makes that
+// partition explicit: an N-core run becomes N single-core lanes, each a
+// complete Machine over the core's workload, a 1/N LLC partition, and
+// its own NVM channel. Lanes execute on a worker pool in lockstep
+// epoch windows (a barrier at every epoch bound keeps their skew
+// bounded to one epoch) and their results are merged deterministically
+// — sums for counters, max for the clock, a (Time, lane)-ordered k-way
+// merge for event streams.
+//
+// Because the lane decomposition depends only on the configuration,
+// the merged result is byte-identical for every shard count and any
+// host: Config.Shards only sets the worker-goroutine width. A
+// single-core sharded run is bit-equivalent to the legacy serial
+// engine (one lane IS the legacy machine); a multicore sharded run is
+// its own semantics — per-lane LLC partitions and NVM channels instead
+// of shared contention — and is gated by its own golden digests.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"picl/internal/cache"
+	"picl/internal/obs"
+	"picl/internal/stats"
+	"picl/internal/trace"
+)
+
+// Sharded is a sharded simulation: one lane Machine per core, executed
+// across a bounded worker pool in lockstep epoch windows.
+type Sharded struct {
+	cfg   Config
+	lanes []*Machine
+}
+
+// Execute runs one configured simulation through the engine the config
+// selects: the sharded lane engine when cfg.Shards > 0, else a single
+// legacy Machine. This is the entry point the CLIs and the experiment
+// runner share.
+func Execute(cfg Config) (*Result, error) {
+	if cfg.Shards > 0 {
+		s, err := NewSharded(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(), nil
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// NewSharded builds the lane decomposition of cfg. It requires
+// multiprogrammed workloads (per-core disjoint address regions — the
+// only kind the harness generates); features whose state cannot be
+// partitioned by address are rejected rather than silently degraded:
+// functional golden tracking and crash injection need one coherent
+// image, an external Tracer would observe lanes in scheduler order,
+// and a multicore Timeline has no per-epoch total ordering across
+// lanes. TraceCap stays available — each lane records its own ring and
+// the streams k-way merge by (Time, lane) into Result.Events.
+func NewSharded(cfg Config) (*Sharded, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("sim: no workloads")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Functional {
+		return nil, fmt.Errorf("sim: sharded engine does not support functional mode (golden images cannot be partitioned); use Shards=0")
+	}
+	if cfg.Tracer != nil {
+		return nil, fmt.Errorf("sim: sharded engine rejects an external Tracer (lane interleaving is scheduler-dependent); use TraceCap for a deterministic merged stream")
+	}
+	cores := len(cfg.Workloads)
+	if cfg.Timeline && cores > 1 {
+		return nil, fmt.Errorf("sim: sharded multicore runs cannot record a Timeline (no total per-epoch order across lanes)")
+	}
+	hcfg := cache.DefaultHierarchyConfig(cores)
+	if cfg.Hierarchy != nil {
+		hcfg = *cfg.Hierarchy
+		hcfg.Cores = cores
+	}
+	laneLLC, err := partitionLLC(hcfg.LLC, cores)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Sharded{cfg: cfg}
+	for c := 0; c < cores; c++ {
+		lane := cfg
+		lane.Workloads = []trace.Generator{cfg.Workloads[c]}
+		lh := hcfg
+		lh.Cores = 1
+		lh.LLC = laneLLC
+		lane.Hierarchy = &lh
+		lane.Shards = 0
+		m, err := New(lane)
+		if err != nil {
+			return nil, err
+		}
+		// Lane c runs as core 0 of its own machine; keep its OS
+		// boundary-handler stores on core c's save-area lines.
+		m.osCoreBase = c
+		s.lanes = append(s.lanes, m)
+	}
+	return s, nil
+}
+
+// partitionLLC splits the shared LLC capacity into one per-lane
+// partition, validating that the slice still has a power-of-two set
+// count (the cache model's indexing requirement).
+func partitionLLC(llc cache.Config, cores int) (cache.Config, error) {
+	if llc.Size%cores != 0 {
+		return llc, fmt.Errorf("sim: LLC size %d does not divide across %d lanes", llc.Size, cores)
+	}
+	llc.Size /= cores
+	sets := llc.Size / (64 * llc.Ways)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return llc, fmt.Errorf("sim: %d-lane LLC partition of %d B yields %d sets (need a power of two)", cores, llc.Size*cores, sets)
+	}
+	return llc, nil
+}
+
+// Lanes exposes the per-core lane machines (tests inspect them).
+func (s *Sharded) Lanes() []*Machine { return s.lanes }
+
+// Run executes every lane to its instruction budget and merges the
+// results. Lanes are independent — the window barriers exist to bound
+// skew (no lane runs ahead by more than one epoch), which keeps peak
+// memory flat and failure diagnostics aligned; the barrier schedule
+// cannot affect results. Worker count is min(Shards, lanes); lane
+// results land in per-lane slots, so the pool's dispatch order is
+// irrelevant to the merge.
+func (s *Sharded) Run() *Result {
+	workers := s.cfg.Shards
+	if workers > len(s.lanes) {
+		workers = len(s.lanes)
+	}
+	target := s.lanes[0].cfg.InstrPerCore
+	window := s.lanes[0].cfg.EpochInstr
+	results := make([]*Result, len(s.lanes))
+	for bound := window; ; bound += window {
+		if bound > target {
+			bound = target
+		}
+		stopAt := bound
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = s.lanes[i].RunUntil(func(_, instr uint64) bool {
+						return instr >= stopAt
+					})
+				}
+			}()
+		}
+		for i := range s.lanes {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		if bound >= target {
+			break
+		}
+	}
+	return mergeResults(results)
+}
+
+// mergeResults folds the per-lane results into one Result: clocks take
+// the max (lanes ran concurrently), counts sum, counter bags merge
+// (commutative adds), and event streams k-way merge by (Time, lane).
+// Every reduction is commutative or totally ordered, so the output is
+// independent of lane completion order — this is the determinism the
+// shard-invariance gate pins.
+func mergeResults(rs []*Result) *Result {
+	out := &Result{
+		Scheme:   rs[0].Scheme,
+		Cores:    len(rs),
+		Counters: stats.NewCounters(),
+	}
+	for _, r := range rs {
+		if r.Cycles > out.Cycles {
+			out.Cycles = r.Cycles
+		}
+		out.Instructions += r.Instructions
+		out.Commits += r.Commits
+		out.ForcedCommit += r.ForcedCommit
+		out.BoundaryStallCycles += r.BoundaryStallCycles
+		out.NVM.Merge(r.NVM)
+		out.Counters.Merge(r.Counters)
+		out.LogPeakBytes += r.LogPeakBytes
+		out.LogTotalBytes += r.LogTotalBytes
+		out.EventsDropped += r.EventsDropped
+	}
+	if len(rs) == 1 {
+		// One lane IS the legacy machine; pass its streams through so a
+		// single-core sharded run is bit-equivalent to Shards=0.
+		out.Timeline = rs[0].Timeline
+		out.Events = rs[0].Events
+		return out
+	}
+	out.Events = mergeEvents(rs)
+	return out
+}
+
+// mergeEvents interleaves the per-lane event streams with a k-way
+// pointer merge: at each step the lane whose head event has the lowest
+// Time (ties to the lowest lane index) advances, so intra-lane emission
+// order is preserved exactly. Lane streams are only near-sorted — the
+// engine sometimes emits a completion before an earlier-timestamped
+// submit, as in the legacy single-machine stream — so the merged
+// stream inherits those local inversions; what matters is that the
+// interleaving is a pure function of the lane streams, hence identical
+// at every shard width.
+func mergeEvents(rs []*Result) []obs.Event {
+	total := 0
+	for _, r := range rs {
+		total += len(r.Events)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]obs.Event, 0, total)
+	heads := make([]int, len(rs))
+	for len(out) < total {
+		best := -1
+		var bestTime uint64
+		for lane, r := range rs {
+			h := heads[lane]
+			if h >= len(r.Events) {
+				continue
+			}
+			if best < 0 || r.Events[h].Time < bestTime {
+				best, bestTime = lane, r.Events[h].Time
+			}
+		}
+		out = append(out, rs[best].Events[heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Now returns the maximum lane clock (system time of the merged run).
+func (s *Sharded) Now() uint64 {
+	var now uint64
+	for _, m := range s.lanes {
+		if t := m.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}

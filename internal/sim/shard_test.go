@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"picl/internal/cache"
+	"picl/internal/core"
+	"picl/internal/obs"
+)
+
+// shardDigest pins everything PromText exports: cycles, instructions,
+// commits, stalls, per-op NVM traffic, and every scheme counter.
+func shardDigest(r *Result) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(r.PromText())))
+}
+
+// TestShardInvarianceMatrix is the tentpole determinism gate: across
+// schemes and ACS gaps, a 4-core run produces one digest no matter how
+// many shard workers execute it.
+func TestShardInvarianceMatrix(t *testing.T) {
+	schemes := []string{"picl", "frm", "journal", "thynvm"}
+	gaps := []int{1, 2, 4}
+	for _, scheme := range schemes {
+		for _, gap := range gaps {
+			if scheme != "picl" && gap != gaps[0] {
+				continue // the gap only parameterizes PiCL
+			}
+			want := ""
+			for _, shards := range []int{1, 2, 4, 8} {
+				cfg := tinyConfig(scheme, 4, false)
+				cfg.PiCL = core.DefaultConfig()
+				cfg.PiCL.ACSGap = gap
+				cfg.Shards = shards
+				res, err := Execute(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := shardDigest(res)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("%s gap=%d: digest differs at shards=%d:\n%s\nvs shards=1:\n%s",
+						scheme, gap, shards, got, want)
+				}
+				if res.Cores != 4 || res.Instructions < 4*200_000 {
+					t.Fatalf("%s shards=%d: merged result incomplete: %+v", scheme, shards, res)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSingleCoreBitEquivalent: one lane IS the legacy machine,
+// so a single-core sharded run must match the serial engine exactly —
+// this is what lets the experiment harness reuse its committed Fig. 9
+// golden digests under any -shards value.
+func TestShardedSingleCoreBitEquivalent(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		legacy, err := Execute(tinyConfig(scheme, 1, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 8} {
+			cfg := tinyConfig(scheme, 1, false)
+			cfg.Shards = shards
+			res, err := Execute(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != legacy.Cycles || shardDigest(res) != shardDigest(legacy) {
+				t.Fatalf("%s shards=%d: diverges from the legacy engine", scheme, shards)
+			}
+		}
+	}
+}
+
+// TestShardedEventStreamDeterministic: the (Time, lane) k-way merge of
+// per-lane trace rings is identical at every worker width and globally
+// time-ordered.
+func TestShardedEventStreamDeterministic(t *testing.T) {
+	run := func(shards int) *Result {
+		cfg := tinyConfig("picl", 3, false)
+		cfg.TraceCap = 1 << 14
+		cfg.Shards = shards
+		res, err := Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(1), run(2), run(3)
+	if len(a.Events) == 0 {
+		t.Fatal("sharded run recorded no events")
+	}
+	if len(a.Events) != len(b.Events) || len(a.Events) != len(c.Events) {
+		t.Fatalf("event counts differ: %d vs %d vs %d", len(a.Events), len(b.Events), len(c.Events))
+	}
+	// The merge must be a pure function of the lane streams: identical
+	// at every worker width. (Global time-sortedness is NOT asserted —
+	// the legacy engine's own stream has local inversions, e.g. a
+	// completion emitted before an earlier-timestamped submit, and the
+	// merge preserves intra-lane order exactly.)
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] || a.Events[i] != c.Events[i] {
+			t.Fatalf("event %d differs between shard widths: %+v vs %+v vs %+v",
+				i, a.Events[i], b.Events[i], c.Events[i])
+		}
+	}
+}
+
+// TestShardedContention exercises the widest pool against the most
+// lanes (all windows in flight at once); under `make race` this is the
+// data-race gate for the sharded engine.
+func TestShardedContention(t *testing.T) {
+	cfg := tinyConfig("picl", 8, false)
+	cfg.TraceCap = 1 << 10
+	cfg.Shards = 8
+	res, err := Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 8 || res.Instructions < 8*200_000 {
+		t.Fatalf("contended run incomplete: %+v", res)
+	}
+}
+
+// TestShardedRejectsUnpartitionableFeatures: state that cannot be
+// partitioned by address must be refused, not silently degraded.
+func TestShardedRejectsUnpartitionableFeatures(t *testing.T) {
+	cfg := tinyConfig("picl", 2, true) // functional
+	cfg.Shards = 2
+	if _, err := NewSharded(cfg); err == nil {
+		t.Fatal("functional mode accepted by the sharded engine")
+	}
+	cfg = tinyConfig("picl", 2, false)
+	cfg.Shards = 2
+	cfg.Tracer = obs.NewRing(16)
+	if _, err := NewSharded(cfg); err == nil {
+		t.Fatal("external tracer accepted by the sharded engine")
+	}
+	cfg = tinyConfig("picl", 2, false)
+	cfg.Shards = 2
+	cfg.Timeline = true
+	if _, err := NewSharded(cfg); err == nil {
+		t.Fatal("multicore timeline accepted by the sharded engine")
+	}
+	cfg = tinyConfig("picl", 2, false)
+	cfg.Shards = 2
+	cfg.Hierarchy.LLC = cache.Config{Name: "llc", Size: 48 << 10, Ways: 8, Latency: 30}
+	if _, err := NewSharded(cfg); err == nil {
+		t.Fatal("non-power-of-two LLC partition accepted")
+	}
+}
+
+// TestShardedSpeedup is the parallel-speedup timing gate: with enough
+// host cores, 4 shard workers must beat 1 by a wide margin on a 4-lane
+// run. Timing gates are skipped on small hosts (the determinism gates
+// above always apply); the threshold is deliberately loose so shared
+// CI hosts do not flake.
+func TestShardedSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("parallel-speedup timing gate needs >= 4 CPUs (have %d); determinism gates still ran", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in short mode")
+	}
+	wall := func(shards int) time.Duration {
+		cfg := tinyConfig("picl", 4, false)
+		cfg.InstrPerCore = 800_000
+		cfg.Shards = shards
+		t0 := time.Now()
+		if _, err := Execute(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	wall(4) // warm caches and page in both paths
+	serial, parallel := wall(1), wall(4)
+	if speedup := serial.Seconds() / parallel.Seconds(); speedup < 1.5 {
+		t.Fatalf("4-shard speedup %.2fx < 1.5x (serial %v, parallel %v)", speedup, serial, parallel)
+	}
+}

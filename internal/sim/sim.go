@@ -98,6 +98,18 @@ type Config struct {
 	// re-checks the exact selection invariant after every access, so any
 	// quantum produces cycle-identical results. 0 means the default (64).
 	SchedQuantum int
+	// Shards, when positive, selects the sharded engine (see NewSharded):
+	// the multiprogrammed run is decomposed into one lane per core and
+	// the lanes execute on up to Shards worker goroutines in lockstep
+	// epoch windows. The decomposition depends only on the configuration,
+	// never on Shards, so results are byte-identical for every positive
+	// value (and any host core count). Zero keeps the legacy serial
+	// engine, whose multicore semantics (shared LLC and NVM channel)
+	// differ from the lane decomposition — the two engines' results are
+	// only interchangeable for single-core runs. Machines constructed
+	// directly with New ignore this field; it is consumed by Execute and
+	// NewSharded.
+	Shards int
 	// TraceCap, when positive, attaches a machine-owned obs.Ring of that
 	// capacity to every engine layer (scheme, hierarchy, NVM controller)
 	// and returns the recorded stream in Result.Events. Events carry
@@ -223,6 +235,17 @@ type Machine struct {
 	// maxClock is the maximum core clock, maintained incrementally at
 	// every clock update so Now() is O(1) instead of an O(cores) scan.
 	maxClock uint64
+	// nextEpoch/nextTick carry the boundary and ACS-tick schedule across
+	// RunUntil calls, so a machine paused by a stop predicate (the
+	// sharded engine's window barriers, crash injection) resumes without
+	// re-firing boundaries it already delivered.
+	nextEpoch uint64
+	nextTick  uint64
+	// osCoreBase offsets this machine's OS save-area line addressing. A
+	// sharded lane for core c runs as core 0 of its own machine; the
+	// offset keeps its boundary-handler stores on the same per-core lines
+	// the legacy engine would use.
+	osCoreBase int
 
 	timeline  []EpochSample
 	lastEpoch struct {
@@ -273,6 +296,8 @@ func New(cfg Config) (*Machine, error) {
 		cfg.OSHandlerLines = 0
 	}
 	m := &Machine{cfg: cfg, scheme: scheme, hier: hier, ctl: ctl}
+	m.nextEpoch = cfg.EpochInstr * uint64(len(cfg.Workloads))
+	m.nextTick = 2_000_000
 	if tr := cfg.Tracer; tr != nil {
 		m.tr = tr
 	} else if cfg.TraceCap > 0 {
@@ -390,7 +415,7 @@ func (m *Machine) boundary() {
 	for coreID, c := range m.cores {
 		for i := 0; i < m.cfg.OSHandlerLines; i++ {
 			m.osSeq++
-			l := osSaveArea + mem.LineAddr(coreID*64+i)
+			l := osSaveArea + mem.LineAddr((coreID+m.osCoreBase)*64+i)
 			var payload mem.Word
 			if m.cfg.Functional {
 				payload = mem.PayloadFor(l, m.scheme.SystemEID(), m.osSeq)
@@ -440,6 +465,10 @@ func (m *Machine) Run() *Result {
 // RunUntil executes until the budget is exhausted or stop (if non-nil)
 // returns true; stop is polled between access quanta with the system
 // time. Used for crash injection at an instruction-precise point.
+// RunUntil is resumable: the boundary and tick schedules live on the
+// machine, so a run paused by its stop predicate continues exactly
+// where it left off on the next call — the sharded engine drives each
+// lane through its epoch windows this way.
 //
 // Scheduling: the engine always runs the lagging core — the lowest clock
 // among cores with remaining budget, ties to the lowest index. Rather
@@ -455,9 +484,7 @@ func (m *Machine) Run() *Result {
 func (m *Machine) RunUntil(stop func(now uint64, instr uint64) bool) *Result {
 	target := m.cfg.InstrPerCore
 	epochEvery := m.cfg.EpochInstr * uint64(len(m.cores))
-	nextEpoch := epochEvery
 	tickEvery := uint64(2_000_000)
-	nextTick := tickEvery
 	quantum := m.cfg.SchedQuantum
 	if quantum <= 0 {
 		quantum = 64
@@ -497,14 +524,14 @@ run:
 		for steps := quantum; ; steps-- {
 			m.step(c, coreID)
 			resched := false
-			if m.totalInstr >= nextEpoch {
+			if m.totalInstr >= m.nextEpoch {
 				m.boundary()
-				nextEpoch += epochEvery
+				m.nextEpoch += epochEvery
 				resched = true // all clocks may have been raised
 			}
-			if m.totalInstr >= nextTick {
+			if m.totalInstr >= m.nextTick {
 				m.scheme.Tick(m.Now())
-				nextTick += tickEvery
+				m.nextTick += tickEvery
 			}
 			if stop != nil && stop(m.Now(), m.totalInstr) {
 				break run

@@ -75,6 +75,12 @@ type Log struct {
 	totalBytes   uint64
 	grows        uint64
 	reclaimed    uint64
+
+	// free recycles entry arrays from GC'd blocks back into AppendBlock,
+	// keeping the steady-state append path allocation-free (the log region
+	// is fixed NVM; appends should not churn the Go heap). Bounded so a
+	// GC burst cannot pin unbounded memory.
+	free [][]Entry
 }
 
 // NewLog allocates a log with the given region capacity in bytes
@@ -99,7 +105,13 @@ func (l *Log) AppendBlock(entries []Entry) {
 			maxTill = e.ValidTill
 		}
 	}
-	cp := make([]Entry, len(entries))
+	var cp []Entry
+	if k := len(l.free); k > 0 && cap(l.free[k-1]) >= len(entries) {
+		cp = l.free[k-1][:len(entries)]
+		l.free = l.free[:k-1]
+	} else {
+		cp = make([]Entry, len(entries))
+	}
 	copy(cp, entries)
 	l.blocks = append(l.blocks, Block{Entries: cp, MaxValidTill: maxTill})
 	l.liveBytes += BlockBytes
@@ -149,6 +161,9 @@ func (l *Log) GC(persisted mem.EpochID) uint64 {
 	}
 	if n == 0 {
 		return 0
+	}
+	for i := 0; i < n && len(l.free) < 64; i++ {
+		l.free = append(l.free, l.blocks[i].Entries)
 	}
 	l.blocks = append(l.blocks[:0], l.blocks[n:]...)
 	l.start += uint64(n)
@@ -224,7 +239,7 @@ func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = EntriesPerBlock
 	}
-	return &Buffer{capacity: capacity}
+	return &Buffer{capacity: capacity, entries: make([]Entry, 0, capacity)}
 }
 
 // Add stages an entry and reports whether the buffer is now full.
@@ -255,9 +270,13 @@ func (b *Buffer) OldestValidTill() mem.EpochID {
 	return minTill
 }
 
-// Drain removes and returns all staged entries.
+// Drain removes and returns all staged entries. The returned slice
+// aliases the buffer's backing array and is overwritten by subsequent
+// Adds: callers must finish with it (or copy) before staging again.
+// Reusing the array keeps the hot store path allocation-free — the SRAM
+// buffer is fixed hardware, it should not churn the Go heap.
 func (b *Buffer) Drain() []Entry {
 	out := b.entries
-	b.entries = nil
+	b.entries = b.entries[:0]
 	return out
 }
