@@ -1,4 +1,4 @@
-.PHONY: ci vet fmt-check tidy-check lint lint-fix lint-sarif build test race cover cover-update bench bench-check bench-test crash fuzz
+.PHONY: ci vet fmt-check tidy-check lint lint-fix lint-sarif build test race cover cover-update bench bench-check bench-test crash fuzz load load-update load-soak
 
 # ci is the tier-1 gate: vet, formatting and go.mod hygiene, the
 # project-specific invariant linter, build everything, the full test
@@ -8,8 +8,10 @@
 # exits nonzero on any unsuppressed diagnostic, so a determinism/epoch/
 # lock violation fails the build exactly like a vet error, and
 # bench-check fails it on a throughput or output-byte regression
-# against the committed BENCH_PR9.json.
-ci: vet fmt-check tidy-check lint build race cover bench-check crash fuzz
+# against the committed BENCH_PR9.json. load boots a real picl-simd
+# and gates the served bytes (and, on the recording host, req/s)
+# against SERVE_PR10.json.
+ci: vet fmt-check tidy-check lint build race cover bench-check crash fuzz load
 
 vet:
 	go vet ./...
@@ -100,6 +102,38 @@ bench-test:
 # prints the single-seed replay invocation.
 crash:
 	go run ./cmd/picl-crash -points 100
+
+# load (part of ci) is the serving gate: build both serving binaries,
+# boot a throwaway picl-simd on an ephemeral port with a temp store,
+# fire the committed 1000-request mixed sweep at it, and gate against
+# SERVE_PR10.json — cell and plan digests must match byte-for-byte on
+# every host; the req/s floor applies only when the host fingerprint
+# matches the recording host (the bench-check skip discipline). The
+# 50% tolerance is loose on purpose: HTTP round-trips on a shared
+# container jitter far more than in-process benchmarks, and the gate's
+# real teeth are the digests.
+load:
+	go build -o bin/picl-simd ./cmd/picl-simd
+	go build -o bin/picl-load ./cmd/picl-load
+	bin/picl-load -spawn bin/picl-simd -n 1000 -c 8 -seed 1 \
+		-check -baseline SERVE_PR10.json -out load-report.json
+
+# load-update re-records the serving baseline. Commit the refreshed
+# SERVE_PR10.json together with any intentional change to the response
+# payload or the request plan.
+load-update:
+	go build -o bin/picl-simd ./cmd/picl-simd
+	go build -o bin/picl-load ./cmd/picl-load
+	bin/picl-load -spawn bin/picl-simd -n 1000 -c 8 -seed 1 -out SERVE_PR10.json
+
+# load-soak (nightly) hammers a daemon whose result store runs behind
+# the storage/fault wrapper for 60s: transient injected faults must
+# degrade the store to read-only at worst, never corrupt a response
+# byte (digest consistency stays enforced per cell).
+load-soak:
+	go build -o bin/picl-simd ./cmd/picl-simd
+	go build -o bin/picl-load ./cmd/picl-load
+	bin/picl-load -spawn bin/picl-simd -spawn-args "-fault-seed 7" -soak 60s
 
 # fuzz (part of ci) is the storage fault-injection campaign: 200 seeded
 # fault schedules per mode (sim crash sweeps + injected torn writes,

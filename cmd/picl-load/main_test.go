@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	loadBin   string
+	simdBin   string
+	buildErr  error
+)
+
+// bins compiles picl-load and picl-simd once for every smoke test.
+func bins(t *testing.T) (string, string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "picl-load-smoke")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		loadBin = filepath.Join(dir, "picl-load")
+		simdBin = filepath.Join(dir, "picl-simd")
+		if out, err := exec.Command("go", "build", "-o", loadBin, ".").CombinedOutput(); err != nil {
+			buildErr = err
+			loadBin = string(out)
+			return
+		}
+		if out, err := exec.Command("go", "build", "-o", simdBin, "../picl-simd").CombinedOutput(); err != nil {
+			buildErr = err
+			simdBin = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build: %v\n%s%s", buildErr, loadBin, simdBin)
+	}
+	return loadBin, simdBin
+}
+
+func runLoad(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	lb, _ := bins(t)
+	cmd := exec.Command(lb, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+var tiny = []string{"-n", "20", "-c", "4", "-seed", "3", "-factor", "1024", "-epochs", "2"}
+
+// TestSmokeLoadGolden: a fixed seed produces a byte-identical summary
+// table on stdout, run to run — the whole point of splitting the
+// deterministic plan from the wall-clock numbers.
+func TestSmokeLoadGolden(t *testing.T) {
+	_, sb := bins(t)
+	args := append([]string{"-spawn", sb}, tiny...)
+	out1, stderr1, code := runLoad(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out1, stderr1)
+	}
+	for _, want := range []string{
+		"picl-load: seed=3 requests=20 cells=4",
+		"cell journal/gcc",
+		"cell picl/mcf",
+		"status 200 = 20",
+		"plan digest: ",
+		"digests consistent across all responses",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out1)
+		}
+	}
+	if !strings.Contains(stderr1, "req/s") {
+		t.Fatalf("stderr missing timing summary:\n%s", stderr1)
+	}
+
+	out2, _, code := runLoad(t, args...)
+	if code != 0 {
+		t.Fatalf("second run exit %d", code)
+	}
+	if out1 != out2 {
+		t.Fatalf("stdout not byte-identical across runs:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+	}
+}
+
+// TestSmokeCheckSelfBaseline: a report gates cleanly against itself.
+func TestSmokeCheckSelfBaseline(t *testing.T) {
+	_, sb := bins(t)
+	report := filepath.Join(t.TempDir(), "report.json")
+	if _, stderr, code := runLoad(t, append([]string{"-spawn", sb, "-out", report}, tiny...)...); code != 0 {
+		t.Fatalf("record exit %d: %s", code, stderr)
+	}
+	var rep Report
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.PlanDigest == "" || len(rep.CellDigests) != 4 || rep.ReqsPerSec <= 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	_, stderr, code := runLoad(t, append([]string{"-spawn", sb, "-check", "-baseline", report}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("self-check exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "check ok") {
+		t.Fatalf("stderr missing check verdict:\n%s", stderr)
+	}
+}
+
+// TestSmokeCheckCatchesDigestDrift: a corrupted baseline digest fails
+// the gate on any host.
+func TestSmokeCheckCatchesDigestDrift(t *testing.T) {
+	_, sb := bins(t)
+	report := filepath.Join(t.TempDir(), "report.json")
+	if _, stderr, code := runLoad(t, append([]string{"-spawn", sb, "-out", report}, tiny...)...); code != 0 {
+		t.Fatalf("record exit %d: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.CellDigests["picl/gcc"] = strings.Repeat("0", 64)
+	mut, _ := json.Marshal(rep)
+	if err := os.WriteFile(report, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runLoad(t, append([]string{"-spawn", sb, "-check", "-baseline", report}, tiny...)...)
+	if code != 1 {
+		t.Fatalf("drifted baseline: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "FAIL cell picl/gcc") {
+		t.Fatalf("stderr missing digest failure:\n%s", stderr)
+	}
+}
+
+func TestSmokeFlagValidation(t *testing.T) {
+	if _, stderr, code := runLoad(t); code != 2 || !strings.Contains(stderr, "exactly one of -addr or -spawn") {
+		t.Fatalf("missing target: exit %d, stderr %s", code, stderr)
+	}
+	_, sb := bins(t)
+	if _, stderr, code := runLoad(t, "-spawn", sb, "-addr", "http://x"); code != 2 {
+		t.Fatalf("both targets: exit %d, stderr %s", code, stderr)
+	}
+}

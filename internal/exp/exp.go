@@ -22,6 +22,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -168,12 +169,16 @@ type Runner struct {
 // key simulates and closes ready; everyone else waits on it. RunAll
 // pre-registers unstarted flights so the progress total is exact from
 // the first completed cell; the first Run to arrive claims (starts) the
-// cell and simulates it.
+// cell and simulates it. done distinguishes a completed flight from one
+// whose claimer panicked: waiters woken by ready re-check under the lock
+// and re-claim a cell that never finished, so a single doomed claimer
+// cannot wedge every other requester of the key.
 type flight struct {
 	ready   chan struct{}
 	res     *sim.Result
 	err     error
 	started bool
+	done    bool
 }
 
 // NewRunner builds a runner for the given scale.
@@ -290,32 +295,102 @@ func keyFor(scheme string, benches []string, cfg *sim.Config) RunKey {
 	return key
 }
 
+// KeyFor derives the memo key a Run with the same arguments would use,
+// without running anything. It is the claim hook for layers that
+// coalesce above the per-process memo (internal/serve's cross-process
+// claim/lease protocol content-addresses its result store on this key).
+func (r *Runner) KeyFor(scheme string, benches []string, opts ...Opt) (RunKey, error) {
+	cfg, err := r.buildConfig(scheme, benches, opts...)
+	if err != nil {
+		return RunKey{}, err
+	}
+	return keyFor(scheme, benches, &cfg), nil
+}
+
+// Cached returns the memoized result for key if its flight has
+// completed, without claiming or waiting. It is a peek for serving
+// layers deciding between a warm answer and a claim.
+func (r *Runner) Cached(key RunKey) (*sim.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.memo[key]
+	if !ok || !f.done || f.err != nil {
+		return nil, false
+	}
+	return f.res, true
+}
+
+// Canonical renders the key as a fixed-field-order string: the
+// content-address input for cross-process stores. Changing this format
+// invalidates every persisted result, deliberately — bump it only with
+// the result-region version.
+func (k RunKey) Canonical() string {
+	return fmt.Sprintf("picl-runkey-v1|scheme=%s|bench=%s|cores=%d|epochinstr=%d|instr=%d|llc=%d|nvm=%s|acsgap=%d|buf=%d|tracecap=%d|tracemask=%d|sharded=%t",
+		k.Scheme, k.Bench, k.Cores, k.EpochInstr, k.Instr, k.LLCSize,
+		k.NVMName, k.ACSGap, k.BufEntries, k.TraceCap, uint64(k.TraceMask), k.Sharded)
+}
+
 // Run executes (or returns the memoized result of) one run. Concurrent
 // calls with the same key wait for the first one to finish rather than
 // simulating twice.
 func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result, error) {
+	return r.RunCtx(context.Background(), scheme, benches, opts...)
+}
+
+// RunCtx is Run with caller cancellation. A cancelled context makes a
+// waiter stop waiting and a would-be claimer decline the claim — the
+// cell stays unstarted for the next live requester, so a disconnected
+// HTTP client abandons its claim instead of leaking a pool worker into
+// work nobody wants. A simulation already in flight runs to completion
+// (the engine is not interruptible mid-run) and its result is memoized:
+// cancellation races completion, it never discards finished work.
+func (r *Runner) RunCtx(ctx context.Context, scheme string, benches []string, opts ...Opt) (*sim.Result, error) {
 	cfg, err := r.buildConfig(scheme, benches, opts...)
 	if err != nil {
 		return nil, err
 	}
 	key := keyFor(scheme, benches, &cfg)
 
-	r.mu.Lock()
-	f, ok := r.memo[key]
-	if ok && f.started {
+	for {
+		r.mu.Lock()
+		f, ok := r.memo[key]
+		if !ok {
+			f = &flight{ready: make(chan struct{})}
+			r.memo[key] = f
+			r.total++
+		}
+		if f.done {
+			r.mu.Unlock()
+			return f.res, f.err
+		}
+		if !f.started {
+			if err := ctx.Err(); err != nil {
+				// Abandon before claiming: the flight stays open for the
+				// next requester with a live context.
+				r.mu.Unlock()
+				return nil, err
+			}
+			f.started = true
+			r.inflight++
+			r.mu.Unlock()
+			return r.simulate(scheme, key, cfg, f)
+		}
+		ready := f.ready
 		r.mu.Unlock()
-		<-f.ready
-		return f.res, f.err
+		select {
+		case <-ready:
+			// Completed — or its claimer died; loop to re-read the flight
+			// and, in the latter case, re-claim it.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	if !ok {
-		f = &flight{ready: make(chan struct{})}
-		r.memo[key] = f
-		r.total++
-	}
-	f.started = true
-	r.inflight++
-	r.mu.Unlock()
+}
 
+// simulate executes one claimed flight. Completion is panic-safe: if the
+// engine panics, the flight is failed and closed before the panic
+// propagates, so waiters blocked on it re-claim instead of hanging.
+func (r *Runner) simulate(scheme string, key RunKey, cfg sim.Config, f *flight) (*sim.Result, error) {
 	var t0 time.Time
 	if r.Clock != nil {
 		t0 = r.Clock()
@@ -329,7 +404,26 @@ func (r *Runner) Run(scheme string, benches []string, opts ...Opt) (*sim.Result,
 		}
 		r.mu.Unlock()
 	}
-	f.res, f.err = sim.Execute(cfg)
+	completed := false
+	defer func() {
+		if !completed {
+			// Panicking out of sim.Execute: release waiters with the
+			// flight marked not-done so one of them re-claims.
+			r.mu.Lock()
+			f.started = false
+			r.inflight--
+			ready := f.ready
+			f.ready = make(chan struct{})
+			r.mu.Unlock()
+			close(ready)
+		}
+	}()
+	res, err := sim.Execute(cfg)
+	r.mu.Lock()
+	f.res, f.err = res, err
+	f.done = true
+	r.mu.Unlock()
+	completed = true
 	close(f.ready)
 	var elapsed time.Duration
 	if r.Clock != nil {
@@ -369,6 +463,14 @@ type Req struct {
 // first error aborts scheduling of cells not yet started and is
 // returned; results of cells that did complete remain memoized.
 func (r *Runner) RunAll(reqs []Req) ([]*sim.Result, error) {
+	return r.RunAllCtx(context.Background(), reqs)
+}
+
+// RunAllCtx is RunAll with caller cancellation: a cancelled context
+// stops the feed loop (cells not yet claimed never start), the idle
+// workers drain, and ctx.Err() is returned. Cells already simulating
+// finish and stay memoized.
+func (r *Runner) RunAllCtx(ctx context.Context, reqs []Req) ([]*sim.Result, error) {
 	// Register every fresh cell before any worker starts, so progress
 	// lines report the true batch total from the first completion
 	// instead of racing the feed loop. Workers claim the unstarted
@@ -415,7 +517,7 @@ func (r *Runner) RunAll(reqs []Req) ([]*sim.Result, error) {
 			defer wg.Done()
 			for i := range idx {
 				req := reqs[i]
-				results[i], errs[i] = r.Run(req.Scheme, req.Benches, req.Opts...)
+				results[i], errs[i] = r.RunCtx(ctx, req.Scheme, req.Benches, req.Opts...)
 				if errs[i] != nil {
 					failed.Do(func() { close(stop) })
 				}
@@ -428,10 +530,15 @@ feed:
 		case idx <- i:
 		case <-stop:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
@@ -493,12 +600,22 @@ func (r *Runner) MustRun(scheme string, benches []string, opts ...Opt) *sim.Resu
 // fault runs — with the same width as the sweep engine; fn must only
 // write state it owns (its index's slot of a results slice).
 func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	return r.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with caller cancellation: indices not yet handed
+// to a worker are skipped once ctx is done, running calls finish, and
+// ctx.Err() is returned.
+func (r *Runner) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	workers := r.jobs()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -517,11 +634,19 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -36,12 +36,30 @@ var deterministicScope = []string{
 	modulePath + "/internal/storage/fault",
 }
 
+// deterministicExempt names the serving layer explicitly: these
+// packages sit ABOVE the deterministic world (leases, latency, request
+// plans are wall-clock and PRNG business) and must stay exempt even if
+// the scope list above ever grows a parent subtree of theirs. The
+// boundary is deliberate — everything the daemon returns is produced by
+// in-scope packages, so the response bytes stay deterministic while the
+// serving machinery times and randomizes freely.
+var deterministicExempt = []string{
+	modulePath + "/internal/serve",
+	modulePath + "/cmd/picl-simd",
+	modulePath + "/cmd/picl-load",
+}
+
 var bannedImports = map[string]bool{
 	"math/rand":    true,
 	"math/rand/v2": true,
 }
 
 func inDeterministicScope(path string) bool {
+	for _, p := range deterministicExempt {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return false
+		}
+	}
 	for _, p := range deterministicScope {
 		if path == p || strings.HasPrefix(path, p+"/") {
 			return true

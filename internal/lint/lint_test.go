@@ -88,6 +88,40 @@ func TestDeterminismScope(t *testing.T) {
 	}
 }
 
+// TestDeterminismServeExempt: the serving layer (internal/serve and
+// the two serving binaries) is explicitly exempt — wall clocks, PRNG
+// request plans, and unsorted latency maps are its normal business.
+func TestDeterminismServeExempt(t *testing.T) {
+	for _, asPath := range []string{
+		"picl/internal/serve",
+		"picl/internal/serve/subpkg",
+		"picl/cmd/picl-simd",
+		"picl/cmd/picl-load",
+	} {
+		pkg, err := testLoader(t).CheckDir(filepath.Join("testdata", "src", "servepkg"), asPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range Run([]*Package{pkg}, []*Analyzer{Determinism}) {
+			if d.Rule == "determinism" {
+				t.Errorf("determinism fired on exempt path %s: %s", asPath, d)
+			}
+		}
+	}
+}
+
+// TestDeterminismServeCorpusFiresInSim proves the exemption is scoped,
+// not a hole: the identical serve-idiom file inside the sim subtree
+// trips every rule.
+func TestDeterminismServeCorpusFiresInSim(t *testing.T) {
+	runGolden(t, "servepkg", "picl/internal/sim/servepkg", Determinism, []expect{
+		{10, "determinism"}, // math/rand import
+		{15, "determinism"}, // time.Since in lease check
+		{18, "determinism"}, // time.Now
+		{31, "determinism"}, // latency map range, never sorted
+	})
+}
+
 func TestEIDCmpGolden(t *testing.T) {
 	runGolden(t, "eidcmp", "picl/lintdata/eidcmp", EIDCmp, []expect{
 		{9, "eidcmp"},  // <

@@ -1,0 +1,35 @@
+// Package servepkg is serve-layer idiom for the determinism scope
+// tests: lease expiry off the wall clock, a seeded request plan, and a
+// latency map rendered in iteration order. Loaded as picl/internal/serve
+// (or either serving binary) it must produce zero findings — the
+// serving layer is explicitly exempt — while the same file loaded as a
+// path inside internal/sim must trip every one of them.
+package servepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func leaseExpired(claimed time.Time) bool {
+	return time.Since(claimed) > 30*time.Second
+}
+
+func stamp() time.Time { return time.Now() }
+
+func plan(seed int64, n, cells int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(cells)
+	}
+	return out
+}
+
+func latencyOrder(byCell map[string]float64) []string {
+	var names []string
+	for name := range byCell {
+		names = append(names, name)
+	}
+	return names // unsorted: fine above the determinism boundary
+}

@@ -25,6 +25,7 @@ const (
 	trackACS              // ACS engine
 	trackNVM              // device operations
 	trackCache            // LLC evictions
+	trackServe            // experiment-server requests/claims/store
 )
 
 var trackNames = map[int]string{
@@ -33,6 +34,7 @@ var trackNames = map[int]string{
 	trackACS:   "acs",
 	trackNVM:   "nvm",
 	trackCache: "cache",
+	trackServe: "serve",
 }
 
 // trackOf assigns an event to its display track.
@@ -47,6 +49,8 @@ func trackOf(k Kind) int {
 		return trackACS
 	case KindNVMOp, KindNVMQueueHigh, KindDRAMHit, KindDRAMMiss:
 		return trackNVM
+	case KindServeRequest, KindServeClaim, KindServeStore, KindServeDegraded:
+		return trackServe
 	default:
 		return trackCache
 	}
@@ -68,7 +72,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[\n")
 	// Track-name metadata first, in fixed track order.
-	for tid := trackEpoch; tid <= trackCache; tid++ {
+	for tid := trackEpoch; tid <= trackServe; tid++ {
 		fmt.Fprintf(bw,
 			"{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}},\n",
 			tid, trackNames[tid])

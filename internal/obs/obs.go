@@ -128,6 +128,29 @@ const (
 	// most once per machine.
 	KindDegraded
 
+	// Experiment server (internal/serve). Unlike every kind above, these
+	// are stamped in wall microseconds-as-cycles (µs since server start
+	// x 2000, so the Chrome export's 2 GHz cycle->µs conversion renders
+	// real time) — the serving daemon lives outside the simulated world
+	// and outside the determinism contract.
+
+	// KindServeRequest marks one /run cell served. A = HTTP status; B =
+	// the serve.Source code (hit/computed/waited/peer); Dur = service
+	// time.
+	KindServeRequest
+	// KindServeClaim marks claim-protocol activity on a cell. A = 1 for
+	// a claim acquired, 2 for a wait on another replica's claim, 3 for a
+	// stale lease stolen, 4 for a claim abandoned by a cancelled client.
+	KindServeClaim
+	// KindServeStore marks result-store activity. A = 1 for an append,
+	// 2 for a cross-process refresh that found new records; B = bytes
+	// appended or records discovered.
+	KindServeStore
+	// KindServeDegraded marks the result store going read-only: persist
+	// and claim traffic stops, warm results keep serving. At most once
+	// per server.
+	KindServeDegraded
+
 	numKinds
 )
 
@@ -140,6 +163,7 @@ var kindNames = [numKinds]string{
 	"nvm_op", "nvm_queue_high", "dram_hit", "dram_miss",
 	"llc_evict",
 	"mirror_retry", "degraded",
+	"serve_request", "serve_claim", "serve_store", "serve_degraded",
 }
 
 func (k Kind) String() string {

@@ -149,9 +149,9 @@ func TestWriteChromeTraceValidJSONAndDeterministic(t *testing.T) {
 	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, a.String())
 	}
-	// 5 thread_name metadata records + 6 events.
-	if len(doc.TraceEvents) != 11 {
-		t.Fatalf("traceEvents = %d records, want 11", len(doc.TraceEvents))
+	// 6 thread_name metadata records + 6 events.
+	if len(doc.TraceEvents) != 12 {
+		t.Fatalf("traceEvents = %d records, want 12", len(doc.TraceEvents))
 	}
 	byName := map[string]int{}
 	for _, ev := range doc.TraceEvents {
@@ -162,8 +162,8 @@ func TestWriteChromeTraceValidJSONAndDeterministic(t *testing.T) {
 			t.Fatalf("unexpected phase %q", ev.Ph)
 		}
 	}
-	if byName["thread_name"] != 5 {
-		t.Fatalf("want 5 track metadata records, got %d", byName["thread_name"])
+	if byName["thread_name"] != 6 {
+		t.Fatalf("want 6 track metadata records, got %d", byName["thread_name"])
 	}
 	if byName["nvm_seq_block_write"] != 1 {
 		t.Fatalf("NVM op not specialized by op code: %v", byName)

@@ -150,6 +150,27 @@ func (lf *File) Truncate(n uint64) error {
 	return lf.f.Sync()
 }
 
+// Refresh re-stats the file and extends the logical block count to
+// cover whole blocks another process appended to the shared region
+// (the serving daemon's cross-process result store). A partial tail —
+// a foreign append still in flight — is left alone: it is not this
+// process's crash to repair. Refresh never shrinks the count.
+func (lf *File) Refresh() error {
+	fi, err := lf.f.Stat()
+	if err != nil {
+		return err
+	}
+	payload := fi.Size() - undolog.SuperBytes
+	if payload < 0 {
+		payload = 0
+	}
+	whole := lf.super.Start + uint64(payload)/undolog.BlockBytes
+	if whole > lf.blocks {
+		lf.blocks = whole
+	}
+	return nil
+}
+
 // TearTail simulates a block append interrupted mid-row by a power
 // failure: only the first n bytes of raw land at the append offset,
 // forced to media, leaving a partial tail block for the next open to
